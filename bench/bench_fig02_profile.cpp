@@ -1,0 +1,16 @@
+// Fig. 2 — "Load profile (at the maximum frequency)": the reference run.
+// Credit scheduler, frequency pinned at max, exact load.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  pas::bench::FigureSpec spec;
+  spec.id = "Fig. 2";
+  spec.title = "Load profile at the maximum frequency (credit scheduler, exact load)";
+  spec.expectation =
+      "V20 plateau at 20 % global load on [500,6500)s, V70 plateau at 70 % on "
+      "[2500,5000)s, frequency flat at 2667 MHz";
+  spec.cfg.scheduler = pas::sched::SchedulerKind::kCredit;
+  spec.cfg.governor = "performance";
+  spec.cfg.load = pas::scenario::LoadKind::kExact;
+  return pas::bench::run_figure(argc, argv, spec);
+}

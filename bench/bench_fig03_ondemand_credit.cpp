@@ -1,0 +1,16 @@
+// Fig. 3 — "Global loads with Ondemand governor / Credit scheduler / exact
+// load": the stock governor is aggressive and unstable.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  pas::bench::FigureSpec spec;
+  spec.id = "Fig. 3";
+  spec.title = "Global loads with the stock Ondemand governor (credit scheduler, exact load)";
+  spec.expectation =
+      "same load plateaus as Fig. 2 but the frequency trace oscillates "
+      "(no hysteresis, 20 ms samples); compare transition count with Fig. 4";
+  spec.cfg.scheduler = pas::sched::SchedulerKind::kCredit;
+  spec.cfg.governor = "ondemand";
+  spec.cfg.load = pas::scenario::LoadKind::kExact;
+  return pas::bench::run_figure(argc, argv, spec);
+}

@@ -1,0 +1,16 @@
+// Fig. 4 — "Global loads with our governor / Credit scheduler / exact load":
+// the authors' stable ondemand variant removes the oscillation.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  pas::bench::FigureSpec spec;
+  spec.id = "Fig. 4";
+  spec.title = "Global loads with the paper's stable governor (credit scheduler, exact load)";
+  spec.expectation =
+      "V20 20 % / V70 70 % global plateaus; frequency 1600 MHz while only "
+      "V20 is active, 2667 MHz while V70 is active, no oscillation";
+  spec.cfg.scheduler = pas::sched::SchedulerKind::kCredit;
+  spec.cfg.governor = "stable-ondemand";
+  spec.cfg.load = pas::scenario::LoadKind::kExact;
+  return pas::bench::run_figure(argc, argv, spec);
+}

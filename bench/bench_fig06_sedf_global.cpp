@@ -1,0 +1,16 @@
+// Fig. 6 — "Global loads with our governor / SEDF scheduler / exact load":
+// work-conserving SEDF hands V20 the unused slices.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  pas::bench::FigureSpec spec;
+  spec.id = "Fig. 6";
+  spec.title = "Global loads with the stable governor (SEDF scheduler, exact load)";
+  spec.expectation =
+      "V20 global load ~33-35 % in phase 1 (extra slices at 1600 MHz), "
+      "dropping back to 20 % when V70 wakes and the frequency reaches max";
+  spec.cfg.scheduler = pas::sched::SchedulerKind::kSedf;
+  spec.cfg.governor = "stable-ondemand";
+  spec.cfg.load = pas::scenario::LoadKind::kExact;
+  return pas::bench::run_figure(argc, argv, spec);
+}

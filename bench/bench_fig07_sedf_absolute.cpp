@@ -1,0 +1,18 @@
+// Fig. 7 — "Absolute loads with our governor / SEDF scheduler / exact
+// load": the extra slices exactly compensate the lowered frequency, so SEDF
+// "brings a solution" for exact loads.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  pas::bench::FigureSpec spec;
+  spec.id = "Fig. 7";
+  spec.title = "Absolute loads with the stable governor (SEDF scheduler, exact load)";
+  spec.expectation =
+      "V20 absolute load flat at 20 % through the entire run — its SLA "
+      "holds even at 1600 MHz";
+  spec.cfg.scheduler = pas::sched::SchedulerKind::kSedf;
+  spec.cfg.governor = "stable-ondemand";
+  spec.cfg.load = pas::scenario::LoadKind::kExact;
+  spec.absolute_view = true;
+  return pas::bench::run_figure(argc, argv, spec);
+}

@@ -1,0 +1,19 @@
+// Fig. 8 — "Global or absolute loads with our governor / SEDF scheduler /
+// thrashing load": SEDF in default. A thrashing V20 soaks up the whole
+// host (~85-90 %), pinning the frequency at max — the provider pays for
+// capacity V20 never bought.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  pas::bench::FigureSpec spec;
+  spec.id = "Fig. 8";
+  spec.title = "Loads with the stable governor (SEDF scheduler, thrashing load)";
+  spec.expectation =
+      "V20 global load ~85-90 % in phases 1 and 3 (paper: 85 %), frequency "
+      "pinned at 2667 MHz for the whole active span (global == absolute)";
+  spec.cfg.scheduler = pas::sched::SchedulerKind::kSedf;
+  spec.cfg.governor = "stable-ondemand";
+  spec.cfg.load = pas::scenario::LoadKind::kThrashing;
+  spec.cfg.dom0_demand = 10.0;  // thrashing web traffic loads the Dom0 backend
+  return pas::bench::run_figure(argc, argv, spec);
+}

@@ -1,0 +1,20 @@
+// Fig. 9 — "Global loads with the PAS scheduler / thrashing load": the
+// contribution. PAS computes the fitting frequency itself and rescales
+// credits by 1/(ratio*cf), so V20 gets 33 % of a 1600 MHz processor — the
+// same computing capacity as 20 % of a 2667 MHz one — and not a cycle more.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  pas::bench::FigureSpec spec;
+  spec.id = "Fig. 9";
+  spec.title = "Global loads with the PAS scheduler (thrashing load)";
+  spec.expectation =
+      "phase 1/3: frequency 1600 MHz, V20 capped at a compensated 33 % "
+      "global; phase 2: frequency 2667 MHz, caps back to 20/70";
+  spec.cfg.scheduler = pas::sched::SchedulerKind::kCredit;
+  spec.cfg.governor = "";  // PAS owns DVFS
+  spec.cfg.controller = pas::scenario::ControllerKind::kPas;
+  spec.cfg.load = pas::scenario::LoadKind::kThrashing;
+  spec.cfg.dom0_demand = 10.0;
+  return pas::bench::run_figure(argc, argv, spec);
+}

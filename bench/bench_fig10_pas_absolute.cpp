@@ -1,0 +1,20 @@
+// Fig. 10 — "Absolute loads with the PAS scheduler / thrashing load": the
+// payoff view. Absolute capacities equal the purchased credits (20/70) in
+// every phase, at the lowest frequency that can deliver them.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  pas::bench::FigureSpec spec;
+  spec.id = "Fig. 10";
+  spec.title = "Absolute loads with the PAS scheduler (thrashing load)";
+  spec.expectation =
+      "V20 absolute load flat at 20 % and V70 at 70 % while active — SLAs "
+      "hold AND the frequency drops to 1600 MHz whenever possible";
+  spec.cfg.scheduler = pas::sched::SchedulerKind::kCredit;
+  spec.cfg.governor = "";
+  spec.cfg.controller = pas::scenario::ControllerKind::kPas;
+  spec.cfg.load = pas::scenario::LoadKind::kThrashing;
+  spec.cfg.dom0_demand = 10.0;
+  spec.absolute_view = true;
+  return pas::bench::run_figure(argc, argv, spec);
+}

@@ -1,0 +1,89 @@
+// Governor shoot-out on a diurnal web workload.
+//
+// A single web VM receives a day-shaped load (quiet night, morning ramp,
+// lunch peak, evening tail) compressed into a configurable simulated span.
+// For every governor we report energy, mean response time, p99 latency and
+// frequency transitions — the operator's view of §2.2's governor zoo.
+//
+// The VM's credit defaults to 90 %. Try --credit=70 to watch the paper's
+// pathology live: a saturated 70 % cap yields 70 % utilization, which is
+// below every governor's up-threshold, so utilization-driven governors park
+// at the minimum frequency and the latency explodes — exactly why PAS has
+// to reason in *absolute* load.
+//
+// Run: ./examples/governor_comparison [--span=3600] [--credit=90]
+#include <cstdio>
+#include <memory>
+
+#include "common/flags.hpp"
+#include "core/pas.hpp"
+
+using namespace pas;
+
+namespace {
+
+/// Day curve as a fraction of peak demand, per "hour" bucket (24 entries).
+constexpr double kDayShape[24] = {0.15, 0.10, 0.08, 0.08, 0.10, 0.15, 0.25, 0.40,
+                                  0.55, 0.65, 0.70, 0.80, 0.95, 0.90, 0.75, 0.70,
+                                  0.65, 0.70, 0.80, 0.85, 0.70, 0.50, 0.35, 0.20};
+
+wl::LoadProfile day_profile(common::SimTime span, double peak_demand_pct,
+                            common::Work request_cost) {
+  std::vector<wl::LoadProfile::Step> steps;
+  for (int h = 0; h < 24; ++h) {
+    const double demand = kDayShape[h] * peak_demand_pct;
+    steps.push_back({common::usec(span.us() * h / 24),
+                     wl::WebApp::rate_for_demand(demand, request_cost)});
+  }
+  return wl::LoadProfile{steps};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::Flags flags{argc, argv};
+  const auto span = common::seconds(flags.get_int("span", 3600));
+  const double credit = flags.get_double("credit", 90.0);
+
+  std::printf("Diurnal web workload (peak 60 %% demand) on a %.0f %%-credit VM, %lld s "
+              "compressed day.\n\n",
+              credit, static_cast<long long>(span.sec()));
+  std::printf("  %-16s %10s %12s %12s %12s %12s %9s\n", "governor", "energy kJ",
+              "mean lat ms", "p99-ish ms", "transitions", "req served", "dropped");
+
+  for (const char* name :
+       {"performance", "powersave", "ondemand", "stable-ondemand", "conservative"}) {
+    hv::HostConfig hc;
+    hc.trace_stride = common::SimTime{};
+    hv::Host host{hc, std::make_unique<sched::CreditScheduler>()};
+    host.set_governor(gov::make_governor(name));
+
+    wl::WebAppConfig wc;
+    wc.seed = 31;
+    wc.queue_capacity = 2000;  // clients time out rather than queue forever
+    hv::VmConfig v;
+    v.name = "web";
+    v.credit = credit;
+    auto app = std::make_unique<wl::WebApp>(day_profile(span, 60.0, wc.request_cost), wc);
+    const wl::WebApp* web = app.get();
+    host.add_vm(v, std::move(app));
+
+    host.run_until(span);
+
+    const auto& lat = web->latency_sec();
+    // p99-ish from mean + 2.33 sigma (we keep streaming moments, not a
+    // reservoir; good enough for a comparison table).
+    const double p99 = lat.mean() + 2.33 * lat.stddev();
+    std::printf("  %-16s %10.1f %12.1f %12.1f %12llu %12llu %9llu\n", name,
+                host.energy().joules() / 1000.0, lat.mean() * 1000.0, p99 * 1000.0,
+                static_cast<unsigned long long>(host.cpufreq().transition_count()),
+                static_cast<unsigned long long>(web->completed()),
+                static_cast<unsigned long long>(web->dropped()));
+  }
+
+  std::printf("\nreading: performance buys the best latency at the highest energy;\n"
+              "powersave halves power but latency explodes at the lunch peak;\n"
+              "ondemand tracks the curve but thrashes the PLL; stable-ondemand is the\n"
+              "sane default; conservative lags the morning ramp.\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Hosting-center scenario: a provider packs several customers with
+// different SLAs and duty cycles onto one host and audits, for each policy,
+// (a) whether every customer got the capacity they bought and (b) what the
+// electricity bill looks like.
+//
+// Five VMs: two steady web servers (15 % each), a nightly batch customer
+// (30 %, thrashing while active), a bursty API backend (20 %), and Dom0.
+//
+// Run: ./examples/hosting_center [--hours=2]
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "core/pas.hpp"
+#include "metrics/sla_checker.hpp"
+
+using namespace pas;
+
+namespace {
+
+struct Customer {
+  const char* name;
+  common::Percent credit;
+  bool batch;  // thrashing while active
+  common::SimTime active_from, active_until;
+  double web_demand_pct;  // for non-batch customers
+};
+
+struct AuditRow {
+  std::string policy;
+  double energy_kj = 0.0;
+  double min_delivery_ratio = 1.0;  // worst (delivered / purchased) across customers
+  std::string worst_customer;
+};
+
+AuditRow run_policy(const std::string& policy, common::SimTime horizon) {
+  hv::HostConfig hc;
+  hc.trace_stride = common::seconds(10);
+  std::unique_ptr<hv::Scheduler> sched;
+  if (policy == "SEDF + governor") {
+    sched = std::make_unique<sched::SedfScheduler>();
+  } else {
+    sched = std::make_unique<sched::CreditScheduler>();
+  }
+  hv::Host host{hc, std::move(sched)};
+  if (policy == "PAS") {
+    host.set_controller(std::make_unique<core::PasController>());
+  } else if (policy != "performance (no DVFS)") {
+    host.set_governor(std::make_unique<gov::StableOndemandGovernor>());
+  } else {
+    host.set_governor(std::make_unique<gov::PerformanceGovernor>());
+  }
+
+  // Dom0 first (highest priority).
+  hv::VmConfig dom0;
+  dom0.name = "Dom0";
+  dom0.credit = 10.0;
+  dom0.priority = 1;
+  host.add_vm(dom0, std::make_unique<wl::IdleGuest>());
+
+  const std::vector<Customer> customers = {
+      {"web-a", 15.0, false, common::seconds(0), horizon, 15.0},
+      {"web-b", 15.0, false, common::seconds(0), horizon, 12.0},
+      {"batch", 30.0, true, common::usec(horizon.us() / 4), common::usec(horizon.us() * 3 / 4),
+       0.0},
+      {"api", 20.0, false, common::usec(horizon.us() / 8), common::usec(horizon.us() * 7 / 8),
+       18.0},
+  };
+  std::vector<common::VmId> ids;
+  std::uint64_t seed = 11;
+  for (const auto& c : customers) {
+    hv::VmConfig cfg;
+    cfg.name = c.name;
+    cfg.credit = c.credit;
+    if (c.batch) {
+      ids.push_back(host.add_vm(
+          cfg, std::make_unique<wl::GatedBusyLoop>(
+                   wl::LoadProfile::pulse(c.active_from, c.active_until, 1.0))));
+    } else {
+      wl::WebAppConfig wc;
+      wc.seed = ++seed;
+      const double rate = wl::WebApp::rate_for_demand(c.web_demand_pct, wc.request_cost);
+      ids.push_back(host.add_vm(
+          cfg, std::make_unique<wl::WebApp>(
+                   wl::LoadProfile::pulse(c.active_from, c.active_until, rate), wc)));
+    }
+  }
+
+  host.run_until(horizon);
+
+  AuditRow row;
+  row.policy = policy;
+  row.energy_kj = host.energy().joules() / 1000.0;
+  for (std::size_t i = 0; i < customers.size(); ++i) {
+    const auto& c = customers[i];
+    // Delivered capacity while active vs what a saturated customer would be
+    // owed. Web customers only demand `web_demand_pct`, so compare against
+    // min(demand, credit).
+    const double active_sec = (c.active_until - c.active_from).sec();
+    const double delivered = host.vm(ids[i]).total_work.mf_seconds() / active_sec * 100.0;
+    const double owed = c.batch ? c.credit : std::min(c.web_demand_pct, c.credit);
+    const double ratio = owed > 0 ? delivered / owed : 1.0;
+    if (ratio < row.min_delivery_ratio) {
+      row.min_delivery_ratio = ratio;
+      row.worst_customer = c.name;
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::Flags flags{argc, argv};
+  const auto horizon = common::seconds(flags.get_int("hours", 2) * 3600);
+
+  std::printf("Hosting-center audit: 4 customers (15/15/30/20 %% SLAs) + Dom0, %lld h.\n\n",
+              static_cast<long long>(horizon.sec() / 3600));
+  std::printf("  %-24s %12s %18s %8s\n", "policy", "energy (kJ)", "worst delivery",
+              "customer");
+
+  for (const char* policy :
+       {"performance (no DVFS)", "credit + governor", "SEDF + governor", "PAS"}) {
+    const AuditRow r = run_policy(policy, horizon);
+    std::printf("  %-24s %12.0f %17.0f%% %8s\n", r.policy.c_str(), r.energy_kj,
+                100.0 * r.min_delivery_ratio, r.worst_customer.c_str());
+  }
+
+  std::printf("\nreading: 'worst delivery' is the most-shortchanged customer's delivered\n"
+              "capacity as a share of what they were owed. Performance delivers 100 %% at\n"
+              "the highest energy; credit+governor saves energy by shortchanging the\n"
+              "batch customer; PAS delivers ~100 %% at near the credit+governor energy\n"
+              "point.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+#include "calibration/cf_calibrator.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+#include "hypervisor/host.hpp"
+#include "sched/credit_scheduler.hpp"
+#include "workload/web_app.hpp"
+
+namespace pas::calib {
+
+namespace {
+
+/// Measures the mean global load of a single full-credit VM serving a web
+/// workload of `demand_pct`, with the machine pinned at `state`.
+double measure_load_pct(const MachineSpec& spec, std::size_t state, double demand_pct,
+                        const CfCalibratorConfig& cfg, std::uint64_t seed) {
+  hv::HostConfig hc;
+  hc.ladder = nominal_ladder(spec);
+  hc.speed_override = speed_fn(spec);
+  hc.trace_stride = common::SimTime{};  // no tracing needed
+  hv::Host host{hc, std::make_unique<sched::CreditScheduler>()};
+
+  wl::WebAppConfig wc;
+  wc.seed = seed;
+  const double rate = wl::WebApp::rate_for_demand(demand_pct, wc.request_cost);
+  hv::VmConfig vm;
+  vm.name = "probe";
+  vm.credit = 100.0;
+  host.add_vm(vm, std::make_unique<wl::WebApp>(wl::LoadProfile::constant(rate), wc));
+
+  host.cpufreq().request(state);
+  host.run_until(cfg.warmup);
+  const common::SimTime busy0 = host.monitor().cumulative_busy();
+  host.run_until(cfg.warmup + cfg.measure_time);
+  const common::SimTime busy1 = host.monitor().cumulative_busy();
+  return 100.0 * static_cast<double>((busy1 - busy0).us()) /
+         static_cast<double>(cfg.measure_time.us());
+}
+
+}  // namespace
+
+CfReport calibrate(const MachineSpec& spec, const CfCalibratorConfig& cfg) {
+  if (cfg.demand_levels_pct.empty())
+    throw std::invalid_argument("calibrate: need at least one demand level");
+
+  const cpu::FrequencyLadder ladder = nominal_ladder(spec);
+  const std::size_t n = ladder.size();
+  const std::size_t top = ladder.max_index();
+
+  // loads[state][demand]. Common random numbers: every state replays the
+  // same arrival stream for a given demand level, so the Poisson noise
+  // cancels out of the L_max / L_i ratios (the quantity cf is solved from).
+  std::vector<std::vector<double>> loads(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t d = 0; d < cfg.demand_levels_pct.size(); ++d) {
+      loads[s].push_back(
+          measure_load_pct(spec, s, cfg.demand_levels_pct[d], cfg, spec.seed + d));
+    }
+  }
+
+  CfReport report;
+  report.machine = spec.name;
+  report.expected_cf_min = expected_cf_min(spec);
+  for (std::size_t s = 0; s < n; ++s) {
+    CfMeasurement m;
+    m.state_index = s;
+    m.nominal_mhz = ladder.at(s).freq.value();
+    m.ratio = ladder.ratio(s);
+    common::RunningStats load_stats;
+    common::RunningStats cf_stats;
+    for (std::size_t d = 0; d < cfg.demand_levels_pct.size(); ++d) {
+      load_stats.add(loads[s][d]);
+      if (loads[s][d] > 0.0) {
+        // eq. 1 solved for cf: Lmax/Li = ratio * cf.
+        cf_stats.add(loads[top][d] / (loads[s][d] * m.ratio));
+      }
+    }
+    m.mean_load_pct = load_stats.mean();
+    m.cf = cf_stats.count() > 0 ? cf_stats.mean() : 1.0;
+    report.states.push_back(m);
+  }
+  report.cf_min = report.states.front().cf;
+  return report;
+}
+
+std::vector<CfReport> calibrate_table1(const CfCalibratorConfig& cfg) {
+  std::vector<CfReport> out;
+  for (const auto& spec : table1_machines()) out.push_back(calibrate(spec, cfg));
+  return out;
+}
+
+cpu::FrequencyLadder calibrated_ladder(const CfReport& report, const MachineSpec& spec) {
+  if (report.states.size() != spec.nominal_mhz.size())
+    throw std::invalid_argument("calibrated_ladder: report does not match spec");
+  std::vector<cpu::PState> states;
+  states.reserve(report.states.size());
+  for (std::size_t i = 0; i < report.states.size(); ++i) {
+    states.push_back(cpu::PState{common::mhz(spec.nominal_mhz[i]), report.states[i].cf});
+  }
+  return cpu::FrequencyLadder{std::move(states)};
+}
+
+}  // namespace pas::calib

@@ -1,0 +1,57 @@
+// cf calibration — the measurement procedure of §5.2, automated.
+//
+// For each P-state i of a machine we run a web workload at a fixed absolute
+// demand, measure the global load L_i with the host pinned at state i, and
+// solve eq. 1 for cf:
+//
+//     cf_i = L_top / (L_i * ratio_i)
+//
+// Measurements repeat over several demand levels and are averaged; the
+// workload's Poisson arrivals and cost jitter make the result a *noisy
+// estimate* of the machine's ground truth, as in any real calibration.
+#pragma once
+
+#include <vector>
+
+#include "calibration/machine_model.hpp"
+#include "cpu/frequency_ladder.hpp"
+
+namespace pas::calib {
+
+struct CfCalibratorConfig {
+  /// Absolute demand levels (percent of the machine's full speed) to
+  /// average over; the paper "ran different Web-app workloads".
+  std::vector<double> demand_levels_pct = {10.0, 20.0, 30.0};
+  /// Measurement duration per (state, demand) point.
+  common::SimTime measure_time = common::seconds(120);
+  /// Warm-up discarded before measuring.
+  common::SimTime warmup = common::seconds(10);
+};
+
+struct CfMeasurement {
+  std::size_t state_index = 0;
+  double nominal_mhz = 0.0;
+  double ratio = 0.0;       // nominal F_i / F_max
+  double mean_load_pct = 0.0;  // measured L_i (averaged over demands)
+  double cf = 0.0;          // calibrated
+};
+
+struct CfReport {
+  std::string machine;
+  std::vector<CfMeasurement> states;  // ascending state order
+  double cf_min = 0.0;                // cf of the lowest state (Table 1)
+  double expected_cf_min = 0.0;       // model ground truth
+};
+
+/// Runs the full calibration for one machine.
+[[nodiscard]] CfReport calibrate(const MachineSpec& spec, const CfCalibratorConfig& config = {});
+
+/// Runs Table 1: calibrates every machine in table1_machines().
+[[nodiscard]] std::vector<CfReport> calibrate_table1(const CfCalibratorConfig& config = {});
+
+/// Builds a ladder with the calibrated cf values installed — what a
+/// deployment would feed the PAS controller on that machine.
+[[nodiscard]] cpu::FrequencyLadder calibrated_ladder(const CfReport& report,
+                                                     const MachineSpec& spec);
+
+}  // namespace pas::calib

@@ -1,0 +1,135 @@
+#include "calibration/proportionality.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "hypervisor/host.hpp"
+#include "sched/credit_scheduler.hpp"
+#include "workload/pi_app.hpp"
+#include "workload/web_app.hpp"
+
+namespace pas::calib {
+
+namespace {
+
+double measure_web_load_pct(const cpu::FrequencyLadder& ladder, std::size_t state,
+                            double demand_pct, common::SimTime measure_time,
+                            std::uint64_t seed) {
+  hv::HostConfig hc;
+  hc.ladder = ladder;
+  hc.trace_stride = common::SimTime{};
+  hv::Host host{hc, std::make_unique<sched::CreditScheduler>()};
+
+  wl::WebAppConfig wc;
+  wc.seed = seed;
+  const double rate = wl::WebApp::rate_for_demand(demand_pct, wc.request_cost);
+  hv::VmConfig vm;
+  vm.name = "probe";
+  vm.credit = 100.0;
+  host.add_vm(vm, std::make_unique<wl::WebApp>(wl::LoadProfile::constant(rate), wc));
+
+  host.cpufreq().request(state);
+  const common::SimTime warmup = common::seconds(10);
+  host.run_until(warmup);
+  const common::SimTime busy0 = host.monitor().cumulative_busy();
+  host.run_until(warmup + measure_time);
+  const common::SimTime busy1 = host.monitor().cumulative_busy();
+  return 100.0 * static_cast<double>((busy1 - busy0).us()) /
+         static_cast<double>(measure_time.us());
+}
+
+}  // namespace
+
+double measure_pi_time_sec(const cpu::FrequencyLadder& ladder, std::size_t state_index,
+                           common::Percent credit, common::Work pi_work) {
+  if (credit <= 0.0) throw std::invalid_argument("measure_pi_time_sec: credit must be > 0");
+  hv::HostConfig hc;
+  hc.ladder = ladder;
+  hc.trace_stride = common::SimTime{};
+  hv::Host host{hc, std::make_unique<sched::CreditScheduler>()};
+
+  hv::VmConfig vm;
+  vm.name = "pi";
+  vm.credit = credit;
+  auto app = std::make_unique<wl::PiApp>(pi_work);
+  const wl::PiApp* app_ptr = app.get();
+  host.add_vm(vm, std::move(app));
+
+  host.cpufreq().request(state_index);
+  // Run in chunks until the computation completes. The bound is generous:
+  // time at min speed with min credit, doubled.
+  const double min_speed = ladder.ratio(0) * ladder.at(0).cf;
+  const double bound_sec = pi_work.mf_seconds() / (credit / 100.0 * min_speed) * 2.0 + 60.0;
+  const common::SimTime bound = common::seconds(static_cast<std::int64_t>(bound_sec));
+  const common::SimTime chunk = common::seconds(20);
+  while (!app_ptr->completion_time() && host.now() < bound) {
+    host.run_until(host.now() + chunk);
+  }
+  if (!app_ptr->completion_time())
+    throw std::runtime_error("measure_pi_time_sec: pi-app did not complete within bound");
+  return app_ptr->completion_time()->sec();
+}
+
+std::vector<FreqLoadRow> verify_eq1_frequency_load(const cpu::FrequencyLadder& ladder,
+                                                   std::vector<double> demands_pct,
+                                                   common::SimTime measure_time) {
+  std::vector<FreqLoadRow> rows;
+  std::uint64_t seed = 42;
+  for (double demand : demands_pct) {
+    ++seed;  // one arrival stream per demand level, shared across states
+    // Measure the top state first: it is the reference for L_max / L_i.
+    const double l_max =
+        measure_web_load_pct(ladder, ladder.max_index(), demand, measure_time, seed);
+    for (std::size_t s = 0; s < ladder.size(); ++s) {
+      FreqLoadRow r;
+      r.state_index = s;
+      r.ratio = ladder.ratio(s);
+      r.demand_pct = demand;
+      r.load_pct = s == ladder.max_index()
+                       ? l_max
+                       : measure_web_load_pct(ladder, s, demand, measure_time, seed);
+      r.load_ratio = r.load_pct > 0.0 ? l_max / r.load_pct : 0.0;
+      r.implied_cf = r.ratio > 0.0 ? r.load_ratio / r.ratio : 0.0;
+      rows.push_back(r);
+    }
+  }
+  return rows;
+}
+
+std::vector<FreqTimeRow> verify_eq2_frequency_time(const cpu::FrequencyLadder& ladder,
+                                                   common::Work pi_work) {
+  std::vector<FreqTimeRow> rows;
+  const double t_max = measure_pi_time_sec(ladder, ladder.max_index(), 100.0, pi_work);
+  for (std::size_t s = 0; s < ladder.size(); ++s) {
+    FreqTimeRow r;
+    r.state_index = s;
+    r.ratio = ladder.ratio(s);
+    r.exec_time_sec =
+        s == ladder.max_index() ? t_max : measure_pi_time_sec(ladder, s, 100.0, pi_work);
+    r.time_ratio = r.exec_time_sec > 0.0 ? t_max / r.exec_time_sec : 0.0;
+    r.implied_cf = r.ratio > 0.0 ? r.time_ratio / r.ratio : 0.0;
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+std::vector<CreditTimeRow> verify_eq3_credit_time(const cpu::FrequencyLadder& ladder,
+                                                  std::vector<common::Percent> credits,
+                                                  common::Work pi_work) {
+  if (credits.empty()) throw std::invalid_argument("verify_eq3_credit_time: no credits");
+  std::vector<CreditTimeRow> rows;
+  const common::Percent c_init = credits.front();
+  double t_init = 0.0;
+  for (common::Percent c : credits) {
+    CreditTimeRow r;
+    r.credit = c;
+    r.exec_time_sec = measure_pi_time_sec(ladder, ladder.max_index(), c, pi_work);
+    if (c == c_init) t_init = r.exec_time_sec;
+    r.time_ratio = r.exec_time_sec > 0.0 ? t_init / r.exec_time_sec : 0.0;
+    r.credit_ratio = c / c_init;
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+}  // namespace pas::calib

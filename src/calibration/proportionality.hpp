@@ -1,0 +1,62 @@
+// §5.2 "Verification of our assumptions": the three proportionality
+// experiments, automated. These are the paper's sanity checks that
+// eqs. 1–3 hold before building PAS on top of them; we run the same checks
+// against the simulated substrate (where deviations would indicate a bug in
+// the host/scheduler accounting rather than silicon quirks).
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "cpu/frequency_ladder.hpp"
+
+namespace pas::calib {
+
+/// Eq. 1 check: for a fixed web demand, the measured load at each state
+/// obeys L_max / L_i = ratio_i * cf_i.
+struct FreqLoadRow {
+  std::size_t state_index = 0;
+  double ratio = 0.0;
+  double demand_pct = 0.0;    // injected absolute demand
+  double load_pct = 0.0;      // measured L_i
+  double load_ratio = 0.0;    // L_max / L_i
+  double implied_cf = 0.0;    // load_ratio / ratio
+};
+[[nodiscard]] std::vector<FreqLoadRow> verify_eq1_frequency_load(
+    const cpu::FrequencyLadder& ladder, std::vector<double> demands_pct = {10, 20, 30},
+    common::SimTime measure_time = common::seconds(120));
+
+/// Eq. 2 check: pi-app execution time at each state obeys
+/// T_max / T_i = ratio_i * cf_i.
+struct FreqTimeRow {
+  std::size_t state_index = 0;
+  double ratio = 0.0;
+  double exec_time_sec = 0.0;
+  double time_ratio = 0.0;  // T_max / T_i
+  double implied_cf = 0.0;
+};
+[[nodiscard]] std::vector<FreqTimeRow> verify_eq2_frequency_time(
+    const cpu::FrequencyLadder& ladder,
+    common::Work pi_work = common::mf_seconds(50));
+
+/// Eq. 3 check: pi-app execution time under credit c obeys
+/// T_init / T_j = C_j / C_init (at a fixed frequency).
+struct CreditTimeRow {
+  common::Percent credit = 0.0;
+  double exec_time_sec = 0.0;
+  double time_ratio = 0.0;    // T_init / T_j (T_init = smallest credit's)
+  double credit_ratio = 0.0;  // C_j / C_init
+};
+[[nodiscard]] std::vector<CreditTimeRow> verify_eq3_credit_time(
+    const cpu::FrequencyLadder& ladder,
+    std::vector<common::Percent> credits = {10, 20, 30, 40, 50, 60, 70, 80, 90, 100},
+    common::Work pi_work = common::mf_seconds(50));
+
+/// Measures pi-app execution time on a fixed-credit host pinned at
+/// `state_index` with the given credit — the primitive behind Fig. 1,
+/// Table 2 and the eq. 2/3 checks.
+[[nodiscard]] double measure_pi_time_sec(const cpu::FrequencyLadder& ladder,
+                                         std::size_t state_index, common::Percent credit,
+                                         common::Work pi_work);
+
+}  // namespace pas::calib

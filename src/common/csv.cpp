@@ -1,0 +1,78 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace pas::common {
+
+CsvWriter::CsvWriter(const std::string& path) : file_(path), to_file_(true) {
+  if (!file_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+CsvWriter::CsvWriter() = default;
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quotes = field.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quotes) return std::string{field};
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string format_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void CsvWriter::write_line(const std::string& line) {
+  if (to_file_) {
+    file_ << line << '\n';
+  } else {
+    memory_ += line;
+    memory_ += '\n';
+  }
+}
+
+void CsvWriter::raw_line(const std::string& line) { write_line(line); }
+
+void CsvWriter::header(std::initializer_list<std::string_view> cols) {
+  std::string line;
+  bool first = true;
+  for (auto c : cols) {
+    if (!first) line += ',';
+    line += escape(c);
+    first = false;
+  }
+  write_line(line);
+}
+
+void CsvWriter::row(std::span<const double> values) {
+  std::string line;
+  bool first = true;
+  for (double v : values) {
+    if (!first) line += ',';
+    line += format_number(v);
+    first = false;
+  }
+  write_line(line);
+}
+
+void CsvWriter::row(std::initializer_list<double> values) {
+  row(std::span<const double>{values.begin(), values.size()});
+}
+
+void CsvWriter::labeled_row(std::string_view label, std::span<const double> values) {
+  std::string line = escape(label);
+  for (double v : values) {
+    line += ',';
+    line += format_number(v);
+  }
+  write_line(line);
+}
+
+}  // namespace pas::common

@@ -1,0 +1,53 @@
+// Minimal CSV writer for experiment traces.
+//
+// Every bench binary can dump its time series next to the textual report so
+// the figures can be re-plotted with any external tool
+// (`bench_fig05_absolute_credit --csv=fig5.csv`).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pas::common {
+
+/// Writes rows of comma-separated values; quotes fields containing commas,
+/// quotes, or newlines per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Throws std::runtime_error if the
+  /// file cannot be opened.
+  explicit CsvWriter(const std::string& path);
+
+  /// In-memory mode (for tests); rendered text available via str().
+  CsvWriter();
+
+  void header(std::initializer_list<std::string_view> cols);
+  /// Writes an already-joined line verbatim (dynamic headers).
+  void raw_line(const std::string& line);
+  void row(std::span<const double> values);
+  void row(std::initializer_list<double> values);
+  /// Mixed row: first column a label, remaining numeric.
+  void labeled_row(std::string_view label, std::span<const double> values);
+
+  /// Rendered content in in-memory mode; empty when writing to a file.
+  [[nodiscard]] const std::string& str() const { return memory_; }
+
+  [[nodiscard]] static std::string escape(std::string_view field);
+
+ private:
+  void write_line(const std::string& line);
+
+  std::ofstream file_;
+  bool to_file_ = false;
+  std::string memory_;
+};
+
+/// Formats a double with enough precision for re-plotting but without
+/// scientific noise ("12.345").
+[[nodiscard]] std::string format_number(double v);
+
+}  // namespace pas::common

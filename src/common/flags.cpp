@@ -1,0 +1,49 @@
+#include "common/flags.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace pas::common {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      arg.remove_prefix(2);
+      const auto eq = arg.find('=');
+      if (eq == std::string_view::npos) {
+        values_.emplace(std::string{arg}, "");
+      } else {
+        values_.emplace(std::string{arg.substr(0, eq)}, std::string{arg.substr(eq + 1)});
+      }
+    } else {
+      positionals_.emplace_back(arg);
+    }
+  }
+}
+
+bool Flags::has(const std::string& key) const { return values_.contains(key); }
+
+std::optional<std::string> Flags::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Flags::get_or(const std::string& key, const std::string& def) const {
+  return get(key).value_or(def);
+}
+
+double Flags::get_double(const std::string& key, double def) const {
+  const auto v = get(key);
+  if (!v || v->empty()) return def;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+long Flags::get_int(const std::string& key, long def) const {
+  const auto v = get(key);
+  if (!v || v->empty()) return def;
+  return std::strtol(v->c_str(), nullptr, 10);
+}
+
+}  // namespace pas::common

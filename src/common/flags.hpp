@@ -1,0 +1,30 @@
+// Tiny command-line flag parser shared by the bench and example binaries.
+//
+// Supports `--key=value` and bare `--switch` arguments; anything else is
+// collected as a positional. No external dependencies, no global state.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pas::common {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+  [[nodiscard]] std::string get_or(const std::string& key, const std::string& def) const;
+  [[nodiscard]] double get_double(const std::string& key, double def) const;
+  [[nodiscard]] long get_int(const std::string& key, long def) const;
+  [[nodiscard]] const std::vector<std::string>& positionals() const { return positionals_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace pas::common

@@ -1,0 +1,15 @@
+// Identifier types shared across substrates.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pas::common {
+
+/// Index of a VM within its host. Dense, assigned by Host::add_vm in
+/// creation order (Dom0, when modeled, is just another VM with priority).
+using VmId = std::uint32_t;
+
+inline constexpr VmId kInvalidVm = std::numeric_limits<VmId>::max();
+
+}  // namespace pas::common

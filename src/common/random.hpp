@@ -1,0 +1,50 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the simulator (Poisson request arrivals,
+// service-time jitter, calibration measurement noise) draws from an Rng
+// seeded explicitly, so every experiment is exactly reproducible and every
+// test is deterministic. We use our own xoshiro256** rather than <random>
+// engines because libstdc++'s distributions are not cross-platform
+// deterministic.
+#pragma once
+
+#include <cstdint>
+
+namespace pas::common {
+
+/// xoshiro256** PRNG with explicit seeding (via splitmix64).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  std::uint64_t next_below(std::uint64_t n);
+
+  /// Exponentially distributed value with the given mean (> 0). Used for
+  /// Poisson inter-arrival times in the open-loop load generator.
+  double exponential(double mean);
+
+  /// Standard normal via Box–Muller (no state caching; two uniforms per
+  /// draw — simplicity over speed, this is not on a hot path).
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Derives an independent stream (for giving each VM its own generator).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace pas::common

@@ -1,0 +1,73 @@
+// Fixed-capacity ring buffer used for sliding-window load averaging.
+//
+// The paper's footnote 5: "each time we consider the Global load, it
+// represents an average of three successive processor utilization" — the
+// LoadMonitor keeps the last N window samples in one of these.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace pas::common {
+
+/// A bounded FIFO that overwrites its oldest element when full.
+///
+/// Iteration order (via `for_each` / `at`) is oldest-to-newest. The buffer
+/// never allocates after construction.
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : buf_(capacity) { assert(capacity > 0); }
+
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == buf_.size(); }
+
+  /// Appends `value`, evicting the oldest element if at capacity.
+  void push(const T& value) {
+    buf_[head_] = value;
+    head_ = (head_ + 1) % buf_.size();
+    if (size_ < buf_.size()) ++size_;
+  }
+
+  /// Element `i` in oldest-to-newest order. Precondition: i < size().
+  [[nodiscard]] const T& at(std::size_t i) const {
+    assert(i < size_);
+    const std::size_t oldest = (head_ + buf_.size() - size_) % buf_.size();
+    return buf_[(oldest + i) % buf_.size()];
+  }
+
+  /// The most recently pushed element. Precondition: !empty().
+  [[nodiscard]] const T& back() const {
+    assert(size_ > 0);
+    return buf_[(head_ + buf_.size() - 1) % buf_.size()];
+  }
+
+  void clear() {
+    size_ = 0;
+    head_ = 0;
+  }
+
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t i = 0; i < size_; ++i) f(at(i));
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;  // next write position
+  std::size_t size_ = 0;
+};
+
+/// Mean of the stored elements (requires arithmetic T); 0 when empty.
+template <typename T>
+[[nodiscard]] double mean_of(const RingBuffer<T>& rb) {
+  if (rb.empty()) return 0.0;
+  double sum = 0.0;
+  rb.for_each([&](const T& v) { sum += static_cast<double>(v); });
+  return sum / static_cast<double>(rb.size());
+}
+
+}  // namespace pas::common

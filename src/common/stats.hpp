@@ -1,0 +1,72 @@
+// Small statistics helpers: streaming moments and batch summaries.
+//
+// Used by the benches to summarize per-phase loads ("mean absolute load of
+// V20 during phase 1") and by the calibration module to average cf
+// measurements across workloads.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pas::common {
+
+/// Streaming mean/variance/min/max via Welford's algorithm.
+///
+/// Numerically stable for long runs (an 8000 s simulation records ~800 k
+/// samples into some of these).
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  void reset() { *this = RunningStats{}; }
+
+  /// Pools two streams (parallel-merge form of Welford).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Batch summary of a sample vector.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Computes a Summary (copies and sorts internally; fine for bench-sized
+/// vectors).
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Linear-interpolated percentile of a *sorted* sample, q in [0, 1].
+[[nodiscard]] double percentile_sorted(std::span<const double> sorted, double q);
+
+/// Ordinary least squares fit y = a + b*x. Returns {a, b, r2}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+[[nodiscard]] LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace pas::common

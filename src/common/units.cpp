@@ -1,0 +1,13 @@
+#include "common/units.hpp"
+
+#include <cstdio>
+
+namespace pas::common {
+
+std::string to_string(SimTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fs", t.sec());
+  return buf;
+}
+
+}  // namespace pas::common

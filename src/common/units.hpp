@@ -1,0 +1,142 @@
+// Strong unit types shared by every module.
+//
+// The simulator reasons about three kinds of quantities that are easy to
+// confuse when they are all plain arithmetic types:
+//
+//  * SimTime  — a point on (or span of) the simulated wall clock, stored in
+//               integer microseconds. Wall-clock time passes at the same rate
+//               regardless of the processor frequency.
+//  * Mhz      — a processor frequency.
+//  * Work     — an amount of computation, measured in *max-frequency
+//               microseconds* (the wall time the computation would take on a
+//               processor pinned at the maximum frequency with cf = 1).
+//               Running for a wall-time span dt at frequency ratio r with
+//               correction factor cf performs  dt * r * cf  units of work.
+//
+// Keeping Work and SimTime distinct is what prevents the classic bug family
+// in this paper's domain: charging a VM for *work done* instead of *time
+// consumed* (credits are a time share; QoS is a work share).
+#pragma once
+
+#include <cassert>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace pas::common {
+
+/// A simulated-time point or duration in integer microseconds.
+///
+/// SimTime is totally ordered and supports the usual affine arithmetic
+/// (difference of points is a duration; point + duration is a point). We do
+/// not split point/duration into two types: the simulator's arithmetic is
+/// simple enough that the extra ceremony costs more than it catches.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t microseconds) : us_(microseconds) {}
+
+  [[nodiscard]] constexpr std::int64_t us() const { return us_; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(us_) / 1e3; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(us_) / 1e6; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime& operator+=(SimTime other) {
+    us_ += other.us_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime other) {
+    us_ -= other.us_;
+    return *this;
+  }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) { return SimTime{a.us_ + b.us_}; }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) { return SimTime{a.us_ - b.us_}; }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) { return SimTime{a.us_ * k}; }
+  friend constexpr SimTime operator*(std::int64_t k, SimTime a) { return SimTime{a.us_ * k}; }
+  friend constexpr std::int64_t operator/(SimTime a, SimTime b) {
+    assert(b.us_ != 0);
+    return a.us_ / b.us_;
+  }
+  friend constexpr SimTime operator%(SimTime a, SimTime b) {
+    assert(b.us_ != 0);
+    return SimTime{a.us_ % b.us_};
+  }
+
+ private:
+  std::int64_t us_ = 0;
+};
+
+/// Convenience constructors. `usec(30)` reads better than `SimTime{30}` at
+/// call sites and documents the unit.
+constexpr SimTime usec(std::int64_t v) { return SimTime{v}; }
+constexpr SimTime msec(std::int64_t v) { return SimTime{v * 1000}; }
+constexpr SimTime seconds(std::int64_t v) { return SimTime{v * 1'000'000}; }
+
+/// A processor frequency in MHz. Stored as double: the calibration module
+/// works with fractional effective frequencies (turbo models).
+class Mhz {
+ public:
+  constexpr Mhz() = default;
+  constexpr explicit Mhz(double value) : v_(value) {}
+
+  [[nodiscard]] constexpr double value() const { return v_; }
+
+  constexpr auto operator<=>(const Mhz&) const = default;
+
+  /// Dimensionless ratio of two frequencies (eq. 1's F_i / F_max).
+  friend constexpr double operator/(Mhz a, Mhz b) {
+    assert(b.v_ > 0.0);
+    return a.v_ / b.v_;
+  }
+
+ private:
+  double v_ = 0.0;
+};
+
+constexpr Mhz mhz(double v) { return Mhz{v}; }
+
+/// An amount of computation in max-frequency microseconds.
+class Work {
+ public:
+  constexpr Work() = default;
+  constexpr explicit Work(double max_freq_us) : mfus_(max_freq_us) {}
+
+  [[nodiscard]] constexpr double mfus() const { return mfus_; }
+  [[nodiscard]] constexpr double mf_seconds() const { return mfus_ / 1e6; }
+
+  constexpr auto operator<=>(const Work&) const = default;
+
+  constexpr Work& operator+=(Work other) {
+    mfus_ += other.mfus_;
+    return *this;
+  }
+  constexpr Work& operator-=(Work other) {
+    mfus_ -= other.mfus_;
+    return *this;
+  }
+
+  friend constexpr Work operator+(Work a, Work b) { return Work{a.mfus_ + b.mfus_}; }
+  friend constexpr Work operator-(Work a, Work b) { return Work{a.mfus_ - b.mfus_}; }
+  friend constexpr Work operator*(Work a, double k) { return Work{a.mfus_ * k}; }
+  friend constexpr Work operator*(double k, Work a) { return Work{a.mfus_ * k}; }
+
+ private:
+  double mfus_ = 0.0;
+};
+
+/// Work expressed in max-frequency seconds (the natural unit for pi-app
+/// sizes: "110 max-frequency seconds of computation").
+constexpr Work mf_seconds(double v) { return Work{v * 1e6}; }
+constexpr Work mf_usec(double v) { return Work{v}; }
+
+/// A percentage in [0, +inf). Credits are percentages of the processor; the
+/// PAS scheduler deliberately produces credits above 100 % at low frequency
+/// (paper §4.2), so no upper clamp is applied here.
+using Percent = double;
+
+/// Formats a SimTime for logs ("1234.5s").
+[[nodiscard]] std::string to_string(SimTime t);
+
+}  // namespace pas::common

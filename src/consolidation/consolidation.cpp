@@ -1,0 +1,115 @@
+#include "consolidation/consolidation.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/compensation.hpp"
+
+namespace pas::consolidation {
+
+Placement place_ffd(const std::vector<VmSpec>& vms, const std::vector<HostSpec>& hosts) {
+  for (const auto& vm : vms) {
+    if (vm.memory_mb < 0 || vm.credit < 0 || vm.cpu_demand_pct < 0)
+      throw std::invalid_argument("place_ffd: negative VM resource");
+  }
+
+  // Sort VM indices by memory, decreasing (classic FFD on the binding
+  // dimension).
+  std::vector<std::size_t> order(vms.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (vms[a].memory_mb != vms[b].memory_mb) return vms[a].memory_mb > vms[b].memory_mb;
+    return a < b;  // stable, deterministic
+  });
+
+  std::vector<double> mem_left;
+  std::vector<double> credit_left;
+  mem_left.reserve(hosts.size());
+  credit_left.reserve(hosts.size());
+  for (const auto& h : hosts) {
+    mem_left.push_back(h.memory_mb);
+    credit_left.push_back(h.cpu_capacity_pct);
+  }
+
+  Placement p;
+  p.assignment.assign(vms.size(), kUnplaced);
+  for (const std::size_t vi : order) {
+    const VmSpec& vm = vms[vi];
+    for (std::size_t hi = 0; hi < hosts.size(); ++hi) {
+      if (vm.memory_mb <= mem_left[hi] && vm.credit <= credit_left[hi]) {
+        mem_left[hi] -= vm.memory_mb;
+        credit_left[hi] -= vm.credit;
+        p.assignment[vi] = hi;
+        break;
+      }
+    }
+    if (p.assignment[vi] == kUnplaced) ++p.unplaced;
+  }
+
+  for (std::size_t hi = 0; hi < hosts.size(); ++hi) {
+    if (mem_left[hi] < hosts[hi].memory_mb || credit_left[hi] < hosts[hi].cpu_capacity_pct) {
+      ++p.hosts_used;
+    }
+  }
+  return p;
+}
+
+ClusterOutcome evaluate(const Placement& placement, const std::vector<VmSpec>& vms,
+                        const std::vector<HostSpec>& hosts) {
+  if (placement.assignment.size() != vms.size())
+    throw std::invalid_argument("evaluate: placement does not match VM list");
+
+  ClusterOutcome out;
+  out.hosts.resize(hosts.size());
+
+  for (std::size_t vi = 0; vi < vms.size(); ++vi) {
+    const std::size_t hi = placement.assignment[vi];
+    if (hi == kUnplaced) continue;
+    if (hi >= hosts.size()) throw std::invalid_argument("evaluate: bad host index");
+    HostOutcome& h = out.hosts[hi];
+    h.powered_on = true;
+    h.cpu_load_pct += vms[vi].cpu_demand_pct;
+    h.credit_reserved_pct += vms[vi].credit;
+    h.memory_used_mb += vms[vi].memory_mb;
+  }
+
+  double load_sum = 0.0;
+  for (std::size_t hi = 0; hi < hosts.size(); ++hi) {
+    HostOutcome& h = out.hosts[hi];
+    if (!h.powered_on) continue;
+    ++out.hosts_on;
+    load_sum += h.cpu_load_pct;
+
+    // PAS operating point: lowest state whose capacity covers the load.
+    const cpu::FrequencyLadder& ladder = hosts[hi].ladder;
+    h.freq_index = core::compute_new_freq_index(ladder, h.cpu_load_pct);
+    const double ratio = ladder.ratio(h.freq_index);
+    // Utilization at the chosen state: the same work occupies a larger
+    // share of a slower processor (eq. 1).
+    const double util =
+        std::min(1.0, h.cpu_load_pct / std::max(1e-9, ladder.capacity_pct(h.freq_index)));
+    h.power_watts = hosts[hi].power.power_watts(ratio, util);
+    const double util_max = std::min(1.0, h.cpu_load_pct / 100.0);
+    h.power_max_freq_watts = hosts[hi].power.power_watts(1.0, util_max);
+
+    out.total_power_watts += h.power_watts;
+    out.total_power_max_freq_watts += h.power_max_freq_watts;
+  }
+  out.mean_active_load_pct =
+      out.hosts_on > 0 ? load_sum / static_cast<double>(out.hosts_on) : 0.0;
+  return out;
+}
+
+std::vector<HostSpec> uniform_fleet(std::size_t count, const HostSpec& spec) {
+  std::vector<HostSpec> fleet;
+  fleet.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    HostSpec h = spec;
+    h.name = spec.name + "-" + std::to_string(i);
+    fleet.push_back(std::move(h));
+  }
+  return fleet;
+}
+
+}  // namespace pas::consolidation

@@ -1,0 +1,98 @@
+// Server consolidation model — the paper's §2.3 argument, executable.
+//
+// "Ideally, a consolidation system should gather all the VMs on a reduced
+// set of machines which should have a high CPU load, and DVFS would
+// therefore be useless. However ... an important bottleneck of such
+// consolidation systems is memory. ... Consequently, DVFS is complementary
+// to consolidation."
+//
+// This module packs VMs onto hosts first-fit-decreasing by memory (the
+// binding resource), powers unused hosts off (VOVO), and then evaluates the
+// cluster's power draw twice: with every active host pinned at the maximum
+// frequency, and with each host at the PAS-chosen frequency (the lowest
+// state whose capacity covers the host's absolute load). The gap between
+// the two is exactly the energy PAS can reclaim *on top of* consolidation —
+// and it grows with the memory-per-VM footprint, which is the paper's
+// point. The conclusion's "main perspective" (coordinating VM scheduling,
+// frequency scaling and memory management) starts here.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "cpu/frequency_ladder.hpp"
+#include "cpu/power_model.hpp"
+
+namespace pas::consolidation {
+
+struct HostSpec {
+  std::string name;
+  /// CPU capacity in percent of one max-frequency processor (100 = the
+  /// paper's single-core host).
+  double cpu_capacity_pct = 100.0;
+  double memory_mb = 4096.0;
+  cpu::FrequencyLadder ladder = cpu::FrequencyLadder::paper_default();
+  cpu::PowerModel power = cpu::PowerModel::desktop_2008();
+};
+
+struct VmSpec {
+  std::string name;
+  /// Purchased credit (absolute %, the SLA) — consolidation must reserve it.
+  common::Percent credit = 0.0;
+  double memory_mb = 512.0;
+  /// Actual absolute CPU demand (<= credit for honest customers).
+  double cpu_demand_pct = 0.0;
+};
+
+inline constexpr std::size_t kUnplaced = std::numeric_limits<std::size_t>::max();
+
+struct Placement {
+  /// assignment[vm] = host index, or kUnplaced.
+  std::vector<std::size_t> assignment;
+  std::size_t hosts_used = 0;
+  std::size_t unplaced = 0;
+};
+
+/// First-fit decreasing by memory footprint. A VM fits a host if both its
+/// memory and its *credit* (not merely its demand — SLAs must be
+/// honorable) fit the remaining capacity.
+[[nodiscard]] Placement place_ffd(const std::vector<VmSpec>& vms,
+                                  const std::vector<HostSpec>& hosts);
+
+struct HostOutcome {
+  bool powered_on = false;
+  double cpu_load_pct = 0.0;    // sum of placed demands (absolute)
+  double credit_reserved_pct = 0.0;
+  double memory_used_mb = 0.0;
+  /// PAS frequency choice for this load (Listing 1.1).
+  std::size_t freq_index = 0;
+  double power_watts = 0.0;         // at the PAS operating point
+  double power_max_freq_watts = 0.0;  // frequency pinned at max
+};
+
+struct ClusterOutcome {
+  std::vector<HostOutcome> hosts;
+  std::size_t hosts_on = 0;
+  double total_power_watts = 0.0;          // consolidation + DVFS (PAS)
+  double total_power_max_freq_watts = 0.0; // consolidation only
+  /// Mean CPU load of powered-on hosts — §2.3 predicts this stays well
+  /// below 100 % once memory binds first.
+  double mean_active_load_pct = 0.0;
+  /// Watts reclaimed by DVFS on top of consolidation.
+  [[nodiscard]] double dvfs_saving_watts() const {
+    return total_power_max_freq_watts - total_power_watts;
+  }
+};
+
+/// Evaluates a placement: per-host loads, PAS frequency choice, power with
+/// and without DVFS. Powered-off hosts draw nothing (VOVO).
+[[nodiscard]] ClusterOutcome evaluate(const Placement& placement,
+                                      const std::vector<VmSpec>& vms,
+                                      const std::vector<HostSpec>& hosts);
+
+/// Convenience: a fleet of identical hosts.
+[[nodiscard]] std::vector<HostSpec> uniform_fleet(std::size_t count, const HostSpec& spec);
+
+}  // namespace pas::consolidation

@@ -1,0 +1,66 @@
+#include "core/compensation.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace pas::core {
+
+double absolute_load_pct(double global_load_pct, double ratio, double cf) {
+  assert(ratio > 0.0 && cf > 0.0);
+  return global_load_pct * ratio * cf;
+}
+
+double load_at_state_pct(double absolute, double ratio, double cf) {
+  assert(ratio > 0.0 && cf > 0.0);
+  return absolute / (ratio * cf);
+}
+
+double predicted_time_at_state(double t_max, double ratio, double cf) {
+  assert(ratio > 0.0 && cf > 0.0);
+  return t_max / (ratio * cf);
+}
+
+double predicted_time_for_credit(double t_init, common::Percent c_init, common::Percent c_new) {
+  if (c_init <= 0.0 || c_new <= 0.0)
+    throw std::invalid_argument("predicted_time_for_credit: credits must be positive");
+  return t_init * (c_init / c_new);
+}
+
+common::Percent compensated_credit(common::Percent initial, double ratio, double cf) {
+  if (ratio <= 0.0 || cf <= 0.0)
+    throw std::invalid_argument("compensated_credit: ratio and cf must be positive");
+  return initial / (ratio * cf);
+}
+
+std::size_t compute_new_freq_index(const cpu::FrequencyLadder& ladder, double absolute) {
+  // Listing 1.1: iterate frequencies ascending, return the first whose
+  // capacity strictly exceeds the absolute load.
+  for (std::size_t i = 0; i < ladder.size(); ++i) {
+    if (ladder.capacity_pct(i) > absolute) return i;
+  }
+  return ladder.max_index();
+}
+
+common::Percent compensated_credit(common::Percent initial, const cpu::FrequencyLadder& ladder,
+                                   std::size_t state_index) {
+  return compensated_credit(initial, ladder.ratio(state_index), ladder.at(state_index).cf);
+}
+
+std::size_t compute_new_freq_index_saturating(const cpu::FrequencyLadder& ladder,
+                                              double absolute, double global_load_pct,
+                                              std::size_t current_index,
+                                              double saturation_threshold_pct,
+                                              double down_headroom_pct) {
+  std::size_t target = compute_new_freq_index(ladder, absolute);
+  if (global_load_pct >= saturation_threshold_pct && current_index < ladder.max_index()) {
+    target = std::max(target, current_index + 1);
+  }
+  // Downward moves need real margin, not a strict-inequality tie.
+  while (target < current_index &&
+         ladder.capacity_pct(target) <= absolute + down_headroom_pct) {
+    ++target;
+  }
+  return target;
+}
+
+}  // namespace pas::core

@@ -1,0 +1,28 @@
+// Umbrella header: the public API of the PAS library.
+//
+// Quickstart:
+//
+//   #include "core/pas.hpp"
+//
+//   using namespace pas;
+//   hv::HostConfig hc;                                   // Optiplex ladder
+//   hv::Host host{hc, std::make_unique<sched::CreditScheduler>()};
+//   host.set_controller(std::make_unique<core::PasController>());
+//
+//   hv::VmConfig v20{.name = "V20", .credit = 20.0};
+//   host.add_vm(v20, std::make_unique<wl::BusyLoop>());  // thrashing VM
+//   host.run_until(common::seconds(100));
+//
+//   // V20's absolute capacity is 20 % although the frequency is low:
+//   host.monitor().vm_absolute_load_pct(0);
+#pragma once
+
+#include "core/compensation.hpp"      // IWYU pragma: export
+#include "core/pas_controller.hpp"    // IWYU pragma: export
+#include "core/user_level_managers.hpp"  // IWYU pragma: export
+#include "governor/governors.hpp"     // IWYU pragma: export
+#include "hypervisor/host.hpp"        // IWYU pragma: export
+#include "sched/scheduler_factory.hpp"  // IWYU pragma: export
+#include "workload/pi_app.hpp"        // IWYU pragma: export
+#include "workload/synthetic.hpp"     // IWYU pragma: export
+#include "workload/web_app.hpp"       // IWYU pragma: export

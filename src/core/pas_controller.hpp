@@ -1,0 +1,67 @@
+// PAS — the Power-Aware Scheduler (§4): the paper's contribution.
+//
+// In-hypervisor design (the third of §4.1, the one the paper evaluates):
+// at every scheduler tick,
+//   1. read the smoothed global load and derive the absolute load;
+//   2. computeNewFreq (Listing 1.1): lowest P-state that absorbs it;
+//   3. updateDvfsAndCredits (Listing 1.2): recompute every VM's credit as
+//      C_init / (ratio * cf) and apply both credits and frequency.
+//
+// Effects (the paper's design principles, end of §3.2):
+//   * a VM's configured credit is a share of the processor at MAX frequency;
+//   * credits rise when frequency falls (and vice versa) so the delivered
+//     computing capacity is invariant;
+//   * no VM ever receives more computing capacity than it bought, so the
+//     host can keep the frequency low when it is genuinely underloaded.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/compensation.hpp"
+#include "hypervisor/controller.hpp"
+
+namespace pas::core {
+
+struct PasConfig {
+  /// Tick period. The paper hooks the Xen scheduler tick; we default to the
+  /// credit scheduler's 30 ms accounting period.
+  common::SimTime period = common::msec(30);
+  /// Use the three-window averaged load (paper footnote 5). Disable only
+  /// for ablation: the raw last-window load makes PAS twitchy.
+  bool use_averaged_load = true;
+  /// Exempt VMs whose configured credit is 0 (uncapped null-credit VMs have
+  /// no SLA to preserve).
+  bool skip_uncapped = true;
+  /// Saturation escalation (see compute_new_freq_index_saturating): when
+  /// the smoothed global load reaches this, force at least one state up.
+  double saturation_threshold_pct = 98.0;
+  /// Down-moves must hold for this many consecutive ticks before they are
+  /// applied (~3 s at the 30 ms tick — the smoothing horizon). Upward moves
+  /// are immediate: QoS beats energy.
+  int down_patience_ticks = 100;
+};
+
+class PasController final : public hv::Controller {
+ public:
+  explicit PasController(PasConfig config = {});
+
+  [[nodiscard]] std::string_view name() const override { return "pas"; }
+  [[nodiscard]] common::SimTime period() const override { return cfg_.period; }
+  void attach(const hv::HostView& view) override;
+  void on_tick(common::SimTime now, const hv::HostView& view) override;
+
+  /// Last frequency decision (diagnostics).
+  [[nodiscard]] std::size_t last_freq_index() const { return last_index_; }
+  /// Number of ticks during which the credits were rescaled.
+  [[nodiscard]] std::uint64_t tick_count() const { return ticks_; }
+
+ private:
+  PasConfig cfg_;
+  std::vector<common::Percent> initial_credits_;
+  std::size_t last_index_ = 0;
+  std::uint64_t ticks_ = 0;
+  int down_streak_ = 0;
+};
+
+}  // namespace pas::core

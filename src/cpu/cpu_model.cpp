@@ -1,0 +1,32 @@
+#include "cpu/cpu_model.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace pas::cpu {
+
+CpuModel::CpuModel(FrequencyLadder ladder)
+    : ladder_(std::move(ladder)), index_(ladder_.max_index()) {}
+
+double CpuModel::speed() const {
+  if (speed_override_) return speed_override_(index_);
+  return ladder_.ratio(index_) * ladder_.at(index_).cf;
+}
+
+common::Work CpuModel::work_for(common::SimTime dt) const {
+  return common::mf_usec(static_cast<double>(dt.us()) * speed());
+}
+
+common::SimTime CpuModel::time_for(common::Work w) const {
+  const double s = speed();
+  assert(s > 0.0);
+  return common::usec(static_cast<std::int64_t>(std::ceil(w.mfus() / s)));
+}
+
+void CpuModel::set_index(std::size_t i) {
+  assert(i < ladder_.size());
+  index_ = i;
+}
+
+}  // namespace pas::cpu

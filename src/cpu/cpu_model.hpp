@@ -1,0 +1,62 @@
+// Processor model: converts wall time at the current P-state into work done.
+//
+// This is the substrate that stands in for physical DVFS hardware. The
+// conversion implements the paper's eq. 1/2 proportionality model directly:
+//
+//     work = wall_time * (F_cur / F_max) * cf_cur
+//
+// A "speed override" hook lets the calibration module model machines whose
+// true behaviour *deviates* from the nominal model (turbo boost), which is
+// how the paper's Table 1 cf values arise; see calibration/machine_model.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "common/units.hpp"
+#include "cpu/frequency_ladder.hpp"
+
+namespace pas::cpu {
+
+class CpuModel {
+ public:
+  /// Starts at the maximum P-state (as a freshly booted host would under the
+  /// performance governor).
+  explicit CpuModel(FrequencyLadder ladder);
+
+  [[nodiscard]] const FrequencyLadder& ladder() const { return ladder_; }
+  [[nodiscard]] std::size_t current_index() const { return index_; }
+  [[nodiscard]] common::Mhz current_freq() const { return ladder_.at(index_).freq; }
+  [[nodiscard]] double current_ratio() const { return ladder_.ratio(index_); }
+  [[nodiscard]] double current_cf() const { return ladder_.at(index_).cf; }
+
+  /// Normalized execution speed at the current state: work per unit wall
+  /// time, where 1.0 = max frequency with cf 1. With a speed override
+  /// installed the override wins (turbo machines run *faster* than 1.0 at
+  /// the top state never happens here because speeds are normalized to the
+  /// true top speed; they run *slower than nominal* at lower states).
+  [[nodiscard]] double speed() const;
+
+  /// Work performed by running this CPU for `dt` of wall time.
+  [[nodiscard]] common::Work work_for(common::SimTime dt) const;
+
+  /// Wall time needed to perform `w` at the current state (rounded up to
+  /// whole microseconds so a busy interval is never under-charged).
+  [[nodiscard]] common::SimTime time_for(common::Work w) const;
+
+  /// Switches P-state. Precondition: i < ladder().size().
+  void set_index(std::size_t i);
+
+  /// Installs a per-state true-speed function (normalized to the fastest
+  /// state = 1.0). Used by calibration to model turbo: the *nominal* ladder
+  /// says ratio = F_i/F_nominal_max, the *true* speed is F_i/F_turbo.
+  using SpeedFn = std::function<double(std::size_t state_index)>;
+  void set_speed_override(SpeedFn fn) { speed_override_ = std::move(fn); }
+
+ private:
+  FrequencyLadder ladder_;
+  std::size_t index_;
+  SpeedFn speed_override_;
+};
+
+}  // namespace pas::cpu

@@ -1,0 +1,37 @@
+#include "cpu/frequency_ladder.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pas::cpu {
+
+FrequencyLadder::FrequencyLadder(std::vector<PState> states) : states_(std::move(states)) {
+  if (states_.empty()) throw std::invalid_argument("FrequencyLadder: no states");
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (states_[i].freq.value() <= 0.0)
+      throw std::invalid_argument("FrequencyLadder: non-positive frequency");
+    if (states_[i].cf <= 0.0) throw std::invalid_argument("FrequencyLadder: non-positive cf");
+    if (i > 0 && !(states_[i - 1].freq < states_[i].freq))
+      throw std::invalid_argument("FrequencyLadder: states must be strictly ascending");
+  }
+}
+
+FrequencyLadder FrequencyLadder::uniform(std::initializer_list<double> mhz_values) {
+  std::vector<PState> s;
+  s.reserve(mhz_values.size());
+  for (double v : mhz_values) s.push_back(PState{common::mhz(v), 1.0});
+  return FrequencyLadder{std::move(s)};
+}
+
+FrequencyLadder FrequencyLadder::paper_default() {
+  return uniform({1600, 1867, 2133, 2400, 2667});
+}
+
+std::size_t FrequencyLadder::index_of(common::Mhz f) const {
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (states_[i].freq == f) return i;
+  }
+  throw std::invalid_argument("FrequencyLadder: frequency not in ladder");
+}
+
+}  // namespace pas::cpu

@@ -1,0 +1,66 @@
+// P-state ladder: the set of frequencies the processor supports, with the
+// paper's per-frequency correction factor cf_i.
+//
+// Eq. 1/2 of the paper model performance as proportional to frequency up to
+// a per-frequency factor cf_i ("very close to 1" on the evaluation machine,
+// but as low as 0.80 on an E5-2620 — Table 1). The ladder stores cf_i next
+// to each frequency; the CPU model and the PAS equations both consume it.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace pas::cpu {
+
+/// One processor performance state.
+struct PState {
+  common::Mhz freq;
+  /// Correction factor cf_i from eq. 1: at this state the processor delivers
+  /// (freq / freq_max) * cf computation per unit of wall time, normalized to
+  /// the maximum state.
+  double cf = 1.0;
+};
+
+/// An immutable, ascending list of P-states. Index 0 is the lowest
+/// frequency; index size()-1 the highest (the paper's Freq[fmax]).
+class FrequencyLadder {
+ public:
+  /// Builds a ladder from ascending states. Throws std::invalid_argument if
+  /// empty, unordered, or any cf <= 0.
+  explicit FrequencyLadder(std::vector<PState> states);
+
+  /// Ladder with cf = 1 everywhere (the common case in the paper's host).
+  static FrequencyLadder uniform(std::initializer_list<double> mhz_values);
+
+  /// The Optiplex 755 ladder used throughout the paper's evaluation:
+  /// 1600 / 1867 / 2133 / 2400 / 2667 MHz, cf = 1.
+  static FrequencyLadder paper_default();
+
+  [[nodiscard]] std::size_t size() const { return states_.size(); }
+  [[nodiscard]] const PState& at(std::size_t i) const { return states_.at(i); }
+  [[nodiscard]] const PState& min() const { return states_.front(); }
+  [[nodiscard]] const PState& max() const { return states_.back(); }
+  [[nodiscard]] std::size_t max_index() const { return states_.size() - 1; }
+  [[nodiscard]] std::span<const PState> states() const { return states_; }
+
+  /// F_i / F_max for state i.
+  [[nodiscard]] double ratio(std::size_t i) const { return states_.at(i).freq / max().freq; }
+
+  /// Computing capacity of state i relative to the max state, in percent of
+  /// the max-frequency processor: ratio_i * 100 * cf_i. This is exactly the
+  /// quantity Listing 1.1 compares against the absolute load.
+  [[nodiscard]] double capacity_pct(std::size_t i) const { return ratio(i) * 100.0 * states_.at(i).cf; }
+
+  /// Index of the state with exactly this frequency; throws
+  /// std::invalid_argument if absent.
+  [[nodiscard]] std::size_t index_of(common::Mhz f) const;
+
+ private:
+  std::vector<PState> states_;
+};
+
+}  // namespace pas::cpu

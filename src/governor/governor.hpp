@@ -1,0 +1,42 @@
+// DVFS governor interface (§2.2).
+//
+// A governor is a pure frequency policy: it observes utilization and picks a
+// P-state. It does not know about VMs or credits — that blindness is
+// precisely the incompatibility the paper demonstrates.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "common/units.hpp"
+#include "cpu/frequency_ladder.hpp"
+
+namespace pas::gov {
+
+/// Utilization snapshot handed to the governor at each sampling period.
+struct Sample {
+  common::SimTime now;
+  /// Busy fraction of the CPU since the previous governor sample, in [0,1].
+  double util = 0.0;
+  /// Global load averaged over the monitor's smoothing depth (the paper's
+  /// three-window average), as a fraction in [0,1].
+  double avg_util = 0.0;
+  /// Current P-state index.
+  std::size_t current_index = 0;
+};
+
+class Governor {
+ public:
+  virtual ~Governor() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Sampling period.
+  [[nodiscard]] virtual common::SimTime period() const = 0;
+
+  /// Returns the desired P-state index for `sample`.
+  [[nodiscard]] virtual std::size_t decide(const Sample& sample,
+                                           const cpu::FrequencyLadder& ladder) = 0;
+};
+
+}  // namespace pas::gov

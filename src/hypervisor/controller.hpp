@@ -1,0 +1,59 @@
+// Controller interface: coordinated credit + DVFS policy.
+//
+// A Controller is the hook where the paper's contribution plugs into the
+// host. It runs periodically with a view of the measurement and actuation
+// surfaces (load monitor, cpufreq, scheduler caps) and implements a
+// coordination policy:
+//
+//   * core::PasController             — the in-hypervisor PAS scheduler
+//     (§4.1 third design: "credit and DVFS computations ... performed each
+//     time a scheduling decision is made");
+//   * core::UserLevelCreditManager    — §4.1 first design (governor owns
+//     DVFS, a slow user-level loop fixes credits);
+//   * core::UserLevelDvfsCreditManager — §4.1 second design (user-level
+//     loop owns both).
+//
+// A host may have a Governor, a Controller, or both (first design).
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "cpu/cpufreq.hpp"
+#include "hypervisor/scheduler.hpp"
+#include "metrics/load_monitor.hpp"
+
+namespace pas::hv {
+
+/// The slice of host state a controller may observe and actuate. The spans
+/// remain valid for the lifetime of the host.
+struct HostView {
+  cpu::Cpufreq* cpufreq = nullptr;
+  const metrics::LoadMonitor* monitor = nullptr;
+  Scheduler* scheduler = nullptr;
+  /// All VM ids, in creation order.
+  std::span<const common::VmId> vms;
+  /// The *initial* credit of each VM (the SLA — what compensation preserves).
+  std::span<const common::Percent> initial_credits;
+};
+
+class Controller {
+ public:
+  virtual ~Controller() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Invocation period. The in-hypervisor PAS runs at the scheduler
+  /// accounting tick; the user-level designs run orders of magnitude slower.
+  [[nodiscard]] virtual common::SimTime period() const = 0;
+
+  /// Called once before the first tick.
+  virtual void attach(const HostView& view) = 0;
+
+  /// Periodic policy step.
+  virtual void on_tick(common::SimTime now, const HostView& view) = 0;
+};
+
+}  // namespace pas::hv

@@ -1,0 +1,222 @@
+#include "hypervisor/host.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace pas::hv {
+
+Host::Host(HostConfig config, std::unique_ptr<Scheduler> scheduler)
+    : cfg_(config),
+      cpu_(config.ladder),
+      cpufreq_(cpu_, config.cpufreq_transition_latency),
+      scheduler_(std::move(scheduler)),
+      monitor_(config.monitor_window, config.monitor_depth),
+      energy_(config.power) {
+  if (scheduler_ == nullptr) throw std::invalid_argument("Host: scheduler required");
+  if (cfg_.quantum.us() <= 0) throw std::invalid_argument("Host: quantum must be positive");
+  if (cfg_.speed_override) cpu_.set_speed_override(cfg_.speed_override);
+}
+
+Host::~Host() = default;
+
+common::VmId Host::add_vm(VmConfig config, std::unique_ptr<wl::Workload> workload) {
+  if (tasks_installed_) throw std::logic_error("Host: add_vm after run started");
+  if (workload == nullptr) throw std::invalid_argument("Host: workload required");
+  const auto id = static_cast<common::VmId>(vms_.size());
+  Vm vm;
+  vm.id = id;
+  vm.config = std::move(config);
+  vm.workload = std::move(workload);
+  monitor_.register_vm(id);
+  scheduler_->add_vm(id, vm.config);
+  initial_credits_.push_back(vm.config.credit);
+  saturated_last_window_.push_back(false);
+  vm_ids_.push_back(id);
+  vms_.push_back(std::move(vm));
+  return id;
+}
+
+void Host::set_governor(std::unique_ptr<gov::Governor> governor) {
+  if (tasks_installed_) throw std::logic_error("Host: set_governor after run started");
+  governor_ = std::move(governor);
+}
+
+void Host::set_controller(std::unique_ptr<Controller> controller) {
+  if (tasks_installed_) throw std::logic_error("Host: set_controller after run started");
+  controller_ = std::move(controller);
+}
+
+double Host::window_wanting_fraction(common::VmId id) const {
+  const double win = static_cast<double>(cfg_.monitor_window.us());
+  return static_cast<double>(vms_.at(id).window_wanting.us()) / win;
+}
+
+bool Host::vm_saturated_last_window(common::VmId id) const {
+  return saturated_last_window_.at(id);
+}
+
+void Host::install_periodic_tasks() {
+  view_ = HostView{&cpufreq_, &monitor_, scheduler_.get(), vm_ids_, initial_credits_};
+  trace_ = std::make_unique<metrics::TraceRecorder>(vms_.size());
+
+  // Creation order fixes same-timestamp firing order: accounting, then the
+  // monitor window close, then governor, then controller, then tracing —
+  // so policies always observe a freshly closed window.
+  const common::SimTime acct = scheduler_->accounting_period();
+  tasks_.push_back(std::make_unique<sim::PeriodicTask>(
+      events_, acct, acct, [this](common::SimTime t) { scheduler_->account(t); }));
+
+  tasks_.push_back(std::make_unique<sim::PeriodicTask>(
+      events_, cfg_.monitor_window, cfg_.monitor_window,
+      [this](common::SimTime t) { close_monitor_window(t); }));
+
+  if (governor_) {
+    const common::SimTime p = governor_->period();
+    tasks_.push_back(std::make_unique<sim::PeriodicTask>(
+        events_, p, p, [this](common::SimTime t) { governor_tick(t); }));
+  }
+  if (controller_) {
+    controller_->attach(view_);
+    const common::SimTime p = controller_->period();
+    tasks_.push_back(std::make_unique<sim::PeriodicTask>(
+        events_, p, p, [this](common::SimTime t) { controller_tick(t); }));
+  }
+  if (cfg_.trace_stride.us() > 0) {
+    tasks_.push_back(std::make_unique<sim::PeriodicTask>(
+        events_, cfg_.trace_stride, cfg_.trace_stride,
+        [this](common::SimTime t) { trace_tick(t); }));
+  }
+}
+
+void Host::close_monitor_window(common::SimTime now) {
+  for (const auto& vm : vms_) {
+    // A VM that wanted the CPU for (almost) the whole window is saturated:
+    // it would have used more capacity had the scheduler granted it.
+    saturated_last_window_[vm.id] = window_wanting_fraction(vm.id) >= 0.95;
+  }
+  monitor_.close_window(now);
+  for (auto& vm : vms_) vm.window_wanting = common::SimTime{};
+}
+
+void Host::governor_tick(common::SimTime now) {
+  assert(governor_ != nullptr);
+  const common::SimTime span = now - gov_last_sample_time_;
+  if (span.us() <= 0) return;
+  const common::SimTime busy = monitor_.cumulative_busy() - gov_last_cum_busy_;
+  gov::Sample s;
+  s.now = now;
+  s.util = std::clamp(
+      static_cast<double>(busy.us()) / static_cast<double>(span.us()), 0.0, 1.0);
+  s.avg_util = monitor_.avg_global_load_pct() / 100.0;
+  s.current_index = cpufreq_.current_index();
+  const std::size_t target = governor_->decide(s, cpu_.ladder());
+  cpufreq_.request(target);
+  gov_last_sample_time_ = now;
+  gov_last_cum_busy_ = monitor_.cumulative_busy();
+}
+
+void Host::controller_tick(common::SimTime now) {
+  assert(controller_ != nullptr);
+  controller_->on_tick(now, view_);
+}
+
+void Host::trace_tick(common::SimTime now) {
+  metrics::TraceSample s;
+  s.t = now;
+  s.freq_mhz = cpu_.current_freq().value();
+  s.global_load_pct = monitor_.global_load_pct();
+  s.absolute_load_pct = monitor_.absolute_load_pct();
+  s.vm_global_pct.reserve(vms_.size());
+  s.vm_absolute_pct.reserve(vms_.size());
+  s.vm_credit_pct.reserve(vms_.size());
+  s.vm_saturated.reserve(vms_.size());
+  for (const auto& vm : vms_) {
+    s.vm_global_pct.push_back(monitor_.vm_global_load_pct(vm.id));
+    s.vm_absolute_pct.push_back(monitor_.vm_absolute_load_pct(vm.id));
+    s.vm_credit_pct.push_back(scheduler_->cap(vm.id));
+    s.vm_saturated.push_back(saturated_last_window_[vm.id] ? 1.0 : 0.0);
+  }
+  trace_->add(std::move(s));
+}
+
+void Host::run_quantum(common::SimTime slice_end) {
+  const double ratio = cpu_.current_ratio();
+
+  for (auto& vm : vms_) {
+    vm.workload->advance_to(now_);
+    vm.blocked_this_slice = false;
+  }
+
+  common::SimTime t = now_;
+  while (t < slice_end) {
+    runnable_scratch_.clear();
+    for (auto& vm : vms_) {
+      if (!vm.blocked_this_slice && vm.workload->runnable())
+        runnable_scratch_.push_back(vm.id);
+    }
+    if (runnable_scratch_.empty()) break;
+
+    const common::VmId chosen = scheduler_->pick(t, runnable_scratch_);
+    const common::SimTime span = slice_end - t;
+    if (chosen == common::kInvalidVm) {
+      // Fixed-credit semantics: runnable VMs exist but all are over cap.
+      // They keep "wanting" the CPU while it idles.
+      for (common::VmId r : runnable_scratch_) vms_[r].window_wanting += span;
+      break;
+    }
+    assert(std::find(runnable_scratch_.begin(), runnable_scratch_.end(), chosen) !=
+           runnable_scratch_.end());
+
+    Vm& v = vms_[chosen];
+    // Extra-time grants may convert to guest work at reduced efficiency;
+    // the wall time is occupied either way (the CPU looks busy to DVFS).
+    const double eff = scheduler_->work_efficiency(chosen);
+    assert(eff > 0.0 && eff <= 1.0);
+    const common::Work budget = cpu_.work_for(span) * eff;
+    const common::Work done = v.workload->consume(t, budget);
+    common::SimTime busy;
+    if (done >= budget) {
+      busy = span;
+    } else {
+      v.blocked_this_slice = true;
+      busy = std::min(cpu_.time_for(common::Work{done.mfus() / eff}), span);
+    }
+    if (busy.us() == 0) {
+      if (done <= common::Work{}) continue;  // spurious wakeup: retry others
+      busy = common::usec(1);
+    }
+
+    scheduler_->charge(chosen, busy);
+    monitor_.record_run(chosen, busy, done);
+    v.total_busy += busy;
+    v.total_work += done;
+    energy_.record(busy, ratio, busy);
+    for (common::VmId r : runnable_scratch_) vms_[r].window_wanting += busy;
+    t += busy;
+  }
+
+  if (t < slice_end) {
+    const common::SimTime idle = slice_end - t;
+    idle_total_ += idle;
+    energy_.record(idle, ratio, common::SimTime{});
+  }
+}
+
+void Host::run_until(common::SimTime until) {
+  if (!tasks_installed_) {
+    install_periodic_tasks();
+    tasks_installed_ = true;
+  }
+  while (now_ < until) {
+    events_.run_until(now_);
+    common::SimTime next_event = events_.next_event_time(until);
+    if (next_event <= now_) next_event = until;  // stale top entry already fired
+    const common::SimTime slice_end = std::min({now_ + cfg_.quantum, until, next_event});
+    run_quantum(slice_end);
+    now_ = slice_end;
+  }
+  events_.run_until(now_);
+}
+
+}  // namespace pas::hv

@@ -1,0 +1,136 @@
+// The virtualized host: CPU + hypervisor scheduler + VMs + measurement.
+//
+// This is the substrate that stands in for "Xen 4.1.2 on a DELL Optiplex
+// 755". Simulated time advances in scheduling quanta (default 10 ms, Xen's
+// tick). Within each quantum the scheduler picks a VM, the VM performs work
+// at the current frequency, and the time is charged against its credit.
+// Periodic machinery — credit accounting, monitor windows, governor
+// sampling, controller ticks, trace sampling — runs off a discrete-event
+// queue interleaved with the quantum loop.
+//
+// Determinism: given the same configuration and workload seeds, a run is
+// bit-for-bit reproducible.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "cpu/cpu_model.hpp"
+#include "cpu/cpufreq.hpp"
+#include "cpu/power_model.hpp"
+#include "governor/governor.hpp"
+#include "hypervisor/controller.hpp"
+#include "hypervisor/scheduler.hpp"
+#include "hypervisor/vm.hpp"
+#include "metrics/energy_meter.hpp"
+#include "metrics/load_monitor.hpp"
+#include "metrics/trace_recorder.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/periodic.hpp"
+
+namespace pas::hv {
+
+struct HostConfig {
+  cpu::FrequencyLadder ladder = cpu::FrequencyLadder::paper_default();
+  /// Scheduling quantum (Xen credit runs 10 ms ticks).
+  common::SimTime quantum = common::msec(10);
+  /// Load-monitor window and smoothing depth (paper footnote 5: average of
+  /// three successive utilizations).
+  common::SimTime monitor_window = common::seconds(1);
+  std::size_t monitor_depth = 3;
+  /// Stride between trace samples; 0 disables tracing.
+  common::SimTime trace_stride = common::seconds(10);
+  cpu::PowerModel power = cpu::PowerModel::desktop_2008();
+  common::SimTime cpufreq_transition_latency = common::usec(50);
+  /// Optional true-speed override installed into the CPU model (see
+  /// cpu::CpuModel::set_speed_override; used by calibration's turbo
+  /// machines).
+  cpu::CpuModel::SpeedFn speed_override;
+};
+
+class Host {
+ public:
+  Host(HostConfig config, std::unique_ptr<Scheduler> scheduler);
+  ~Host();
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  /// Adds a VM before the first run_until call. Returns its dense id.
+  common::VmId add_vm(VmConfig config, std::unique_ptr<wl::Workload> workload);
+
+  /// Installs a DVFS governor (optional — PAS runs without one).
+  void set_governor(std::unique_ptr<gov::Governor> governor);
+
+  /// Installs a credit/DVFS controller (the PAS hook; optional).
+  void set_controller(std::unique_ptr<Controller> controller);
+
+  /// Advances simulation to absolute time `until`.
+  void run_until(common::SimTime until);
+
+  // --- accessors ---
+  [[nodiscard]] common::SimTime now() const { return now_; }
+  [[nodiscard]] std::size_t vm_count() const { return vms_.size(); }
+  [[nodiscard]] const Vm& vm(common::VmId id) const { return vms_.at(id); }
+  [[nodiscard]] wl::Workload& workload(common::VmId id) { return *vms_.at(id).workload; }
+  [[nodiscard]] Scheduler& scheduler() { return *scheduler_; }
+  [[nodiscard]] const Scheduler& scheduler() const { return *scheduler_; }
+  [[nodiscard]] cpu::Cpufreq& cpufreq() { return cpufreq_; }
+  [[nodiscard]] const cpu::CpuModel& cpu() const { return cpu_; }
+  [[nodiscard]] cpu::CpuModel& cpu_mutable() { return cpu_; }
+  [[nodiscard]] const metrics::LoadMonitor& monitor() const { return monitor_; }
+  [[nodiscard]] const metrics::EnergyMeter& energy() const { return energy_; }
+  [[nodiscard]] const metrics::TraceRecorder& trace() const { return *trace_; }
+  [[nodiscard]] gov::Governor* governor() { return governor_.get(); }
+  [[nodiscard]] Controller* controller() { return controller_.get(); }
+  /// Total CPU-idle time so far.
+  [[nodiscard]] common::SimTime idle_time() const { return idle_total_; }
+  /// Fraction of the current monitor window each VM spent wanting the CPU
+  /// (running or runnable); ~1 means saturated. Index = VmId.
+  [[nodiscard]] double window_wanting_fraction(common::VmId id) const;
+  /// Saturation flag captured at the close of the last monitor window.
+  [[nodiscard]] bool vm_saturated_last_window(common::VmId id) const;
+
+ private:
+  void install_periodic_tasks();
+  void run_quantum(common::SimTime slice_end);
+  void close_monitor_window(common::SimTime now);
+  void governor_tick(common::SimTime now);
+  void controller_tick(common::SimTime now);
+  void trace_tick(common::SimTime now);
+
+  HostConfig cfg_;
+  cpu::CpuModel cpu_;
+  cpu::Cpufreq cpufreq_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<gov::Governor> governor_;
+  std::unique_ptr<Controller> controller_;
+
+  std::vector<Vm> vms_;
+  std::vector<common::VmId> vm_ids_;
+  std::vector<common::Percent> initial_credits_;
+  std::vector<bool> saturated_last_window_;
+  HostView view_;
+
+  metrics::LoadMonitor monitor_;
+  metrics::EnergyMeter energy_;
+  std::unique_ptr<metrics::TraceRecorder> trace_;
+
+  sim::EventQueue events_;
+  std::vector<std::unique_ptr<sim::PeriodicTask>> tasks_;
+  bool tasks_installed_ = false;
+  common::SimTime now_{};
+  common::SimTime idle_total_{};
+
+  // Governor bookkeeping: cumulative busy at the previous governor sample.
+  common::SimTime gov_last_sample_time_{};
+  common::SimTime gov_last_cum_busy_{};
+
+  // Scratch for the quantum loop.
+  std::vector<common::VmId> runnable_scratch_;
+};
+
+}  // namespace pas::hv

@@ -1,0 +1,73 @@
+// Hypervisor VM-scheduler interface.
+//
+// The host drives any scheduler through four calls:
+//   pick    — choose the VM to run now among the runnable set;
+//   charge  — account the time the chosen VM actually ran;
+//   account — periodic credit refill (the scheduler's accounting tick);
+//   set_cap — dynamically adjust a VM's credit (what the PAS controller
+//             does when the frequency changes).
+//
+// Implementations: sched::CreditScheduler (fixed credit, Xen Credit with a
+// cap), sched::SedfScheduler (variable credit, Xen SEDF). The PAS
+// contribution is NOT a separate scheduler class: per the paper it is the
+// credit scheduler plus a credit/DVFS controller (core::PasController).
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "hypervisor/vm.hpp"
+
+namespace pas::hv {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Registers a VM. Ids arrive densely from 0 in creation order.
+  virtual void add_vm(common::VmId id, const VmConfig& config) = 0;
+
+  /// Chooses the VM to run at `now` from `runnable` (never empty), or
+  /// common::kInvalidVm to leave the CPU idle (a fixed-credit scheduler
+  /// idles when every runnable VM has exhausted its credit).
+  [[nodiscard]] virtual common::VmId pick(common::SimTime now,
+                                          std::span<const common::VmId> runnable) = 0;
+
+  /// Charges `busy` wall time of CPU use to `vm` (credits are a *time*
+  /// share; see common/units.hpp).
+  virtual void charge(common::VmId vm, common::SimTime busy) = 0;
+
+  /// Accounting boundary: refill credits/periods.
+  virtual void account(common::SimTime now) = 0;
+
+  /// How often account() must run.
+  [[nodiscard]] virtual common::SimTime accounting_period() const = 0;
+
+  /// Sets the VM's current credit cap (percent of processor time). The PAS
+  /// controller raises caps above the configured credit when the frequency
+  /// drops — the sum across VMs may then exceed 100 % (paper §4.2).
+  virtual void set_cap(common::VmId vm, common::Percent cap_pct) = 0;
+
+  /// The VM's current cap (initially its configured credit).
+  [[nodiscard]] virtual common::Percent cap(common::VmId vm) const = 0;
+
+  /// True if unused slices are redistributed to other VMs (variable-credit
+  /// / work-conserving semantics).
+  [[nodiscard]] virtual bool work_conserving() const = 0;
+
+  /// Fraction of the *upcoming* run (for the VM just returned by pick())
+  /// that converts into useful guest work, in (0,1]. 1.0 for guaranteed
+  /// time; variable-credit schedulers may return less for extra-time grants
+  /// (hypervisor overhead on borrowed slices: the CPU stays busy — which is
+  /// what blocks DVFS down-scaling — but the guest gets less out of it).
+  [[nodiscard]] virtual double work_efficiency(common::VmId vm) const {
+    (void)vm;
+    return 1.0;
+  }
+};
+
+}  // namespace pas::hv

@@ -1,0 +1,52 @@
+// VM configuration and runtime record.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "workload/workload.hpp"
+
+namespace pas::hv {
+
+/// Static configuration of a VM, set at creation time ("VMs are created and
+/// configured in order to have, among other parameters, an execution
+/// priority and a CPU credit" — §2.1).
+struct VmConfig {
+  std::string name;
+
+  /// CPU credit as a percentage of the processor *at maximum frequency*
+  /// (the SLA). 0 means uncapped: the Xen null-credit special case — no
+  /// guarantee, may consume any slack (§3.1).
+  common::Percent credit = 0.0;
+
+  /// Scheduling priority; higher preempts lower. The paper gives Dom0 the
+  /// highest priority and keeps all customer VMs equal.
+  int priority = 0;
+
+  /// SEDF period p for this VM; the slice s is derived from `credit`
+  /// (s = credit% of p) unless the scheduler is given explicit values.
+  common::SimTime sedf_period = common::msec(100);
+
+  /// SEDF extra-time eligibility flag b.
+  bool sedf_extra = true;
+};
+
+/// Runtime record owned by the Host.
+struct Vm {
+  common::VmId id = common::kInvalidVm;
+  VmConfig config;
+  std::unique_ptr<wl::Workload> workload;
+
+  // --- accounting (maintained by the Host) ---
+  common::SimTime total_busy{};
+  common::Work total_work{};
+  /// Wall time the VM spent runnable-but-not-running or running in the
+  /// current monitor window; used for saturation detection.
+  common::SimTime window_wanting{};
+  /// Transient: the VM blocked during the current quantum (ran out of work).
+  bool blocked_this_slice = false;
+};
+
+}  // namespace pas::hv

@@ -1,0 +1,38 @@
+// Energy accounting for the ablation benches (the provider-side metric the
+// paper's governors are trying to optimize).
+#pragma once
+
+#include "common/units.hpp"
+#include "cpu/power_model.hpp"
+
+namespace pas::metrics {
+
+class EnergyMeter {
+ public:
+  explicit EnergyMeter(cpu::PowerModel model) : model_(model) {}
+
+  /// Accounts an interval of length `dt` spent at frequency ratio `ratio`
+  /// with the CPU busy for `busy` of it.
+  void record(common::SimTime dt, double ratio, common::SimTime busy) {
+    if (dt.us() <= 0) return;
+    const double util = static_cast<double>(busy.us()) / static_cast<double>(dt.us());
+    joules_ += model_.energy_joules(dt, ratio, util);
+    elapsed_ += dt;
+  }
+
+  [[nodiscard]] double joules() const { return joules_; }
+  [[nodiscard]] double watt_hours() const { return joules_ / 3600.0; }
+  [[nodiscard]] common::SimTime elapsed() const { return elapsed_; }
+  /// Mean power over everything recorded so far.
+  [[nodiscard]] double average_watts() const {
+    return elapsed_.sec() > 0.0 ? joules_ / elapsed_.sec() : 0.0;
+  }
+  [[nodiscard]] const cpu::PowerModel& model() const { return model_; }
+
+ private:
+  cpu::PowerModel model_;
+  double joules_ = 0.0;
+  common::SimTime elapsed_{};
+};
+
+}  // namespace pas::metrics

@@ -1,0 +1,77 @@
+#include "metrics/load_monitor.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace pas::metrics {
+
+LoadMonitor::LoadMonitor(common::SimTime window, std::size_t averaging_depth)
+    : window_(window),
+      global_ring_(averaging_depth == 0 ? 1 : averaging_depth),
+      absolute_ring_(averaging_depth == 0 ? 1 : averaging_depth) {
+  if (window.us() <= 0) throw std::invalid_argument("LoadMonitor: window must be positive");
+}
+
+void LoadMonitor::register_vm(common::VmId vm) {
+  if (vm != per_vm_.size())
+    throw std::invalid_argument("LoadMonitor: VM ids must be registered densely");
+  per_vm_.emplace_back();
+}
+
+void LoadMonitor::record_run(common::VmId vm, common::SimTime busy, common::Work work) {
+  assert(vm < per_vm_.size());
+  auto& p = per_vm_[vm];
+  p.window_busy += busy;
+  p.window_work += work;
+  p.cum_busy += busy;
+  cum_busy_all_ += busy;
+  cum_work_all_ += work;
+}
+
+void LoadMonitor::close_window(common::SimTime /*now*/) {
+  const double win_us = static_cast<double>(window_.us());
+  double global = 0.0;
+  double absolute = 0.0;
+  for (auto& p : per_vm_) {
+    p.last_global_pct = 100.0 * static_cast<double>(p.window_busy.us()) / win_us;
+    p.last_absolute_pct = 100.0 * p.window_work.mfus() / win_us;
+    global += p.last_global_pct;
+    absolute += p.last_absolute_pct;
+    p.window_busy = common::SimTime{};
+    p.window_work = common::Work{};
+  }
+  last_global_pct_ = global;
+  last_absolute_pct_ = absolute;
+  global_ring_.push(global);
+  absolute_ring_.push(absolute);
+}
+
+double LoadMonitor::vm_global_load_pct(common::VmId vm) const {
+  assert(vm < per_vm_.size());
+  return per_vm_[vm].last_global_pct;
+}
+
+double LoadMonitor::vm_absolute_load_pct(common::VmId vm) const {
+  assert(vm < per_vm_.size());
+  return per_vm_[vm].last_absolute_pct;
+}
+
+double LoadMonitor::global_load_pct() const { return last_global_pct_; }
+
+double LoadMonitor::absolute_load_pct() const { return last_absolute_pct_; }
+
+double LoadMonitor::avg_global_load_pct() const { return common::mean_of(global_ring_); }
+
+double LoadMonitor::avg_absolute_load_pct() const { return common::mean_of(absolute_ring_); }
+
+double LoadMonitor::vm_load_pct(common::VmId vm, common::Percent credit) const {
+  if (credit <= 0.0) return 0.0;
+  return vm_global_load_pct(vm) / credit * 100.0;
+}
+
+common::SimTime LoadMonitor::cumulative_busy(common::VmId vm) const {
+  assert(vm < per_vm_.size());
+  return per_vm_[vm].cum_busy;
+}
+
+}  // namespace pas::metrics

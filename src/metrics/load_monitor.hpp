@@ -1,0 +1,88 @@
+// Load accounting: the measurement substrate behind every figure.
+//
+// Terminology follows §4 of the paper exactly:
+//  * VM load          — how much of its *credit* a VM is using (100 % means
+//                       the VM consumes its full allocation);
+//  * VM global load   — the VM's contribution to processor time
+//                       (busy time / wall time, in %);
+//  * Global load      — sum of VM global loads; the paper always averages
+//                       it over three successive windows (footnote 5);
+//  * Absolute load    — the load the same work would represent at the
+//                       maximum frequency: Global_load * ratio * cf. We
+//                       compute it exactly by accumulating *work* instead of
+//                       rescaling after the fact, which stays correct when
+//                       the frequency changes inside a window.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/ring_buffer.hpp"
+#include "common/units.hpp"
+
+namespace pas::metrics {
+
+class LoadMonitor {
+ public:
+  /// `window` is the sampling window (the paper samples utilization about
+  /// once per second); `averaging_depth` is the paper's three-sample
+  /// smoothing.
+  explicit LoadMonitor(common::SimTime window = common::seconds(1),
+                       std::size_t averaging_depth = 3);
+
+  /// Declares a VM; ids must be dense starting at 0.
+  void register_vm(common::VmId vm);
+
+  /// Records that `vm` ran for `busy` wall time performing `work` within
+  /// the current window.
+  void record_run(common::VmId vm, common::SimTime busy, common::Work work);
+
+  /// Closes the window ending at `now`; called by the host on window
+  /// boundaries.
+  void close_window(common::SimTime now);
+
+  [[nodiscard]] common::SimTime window() const { return window_; }
+  [[nodiscard]] std::size_t vm_count() const { return per_vm_.size(); }
+
+  // --- Last closed window, in percent ---
+  [[nodiscard]] double vm_global_load_pct(common::VmId vm) const;
+  [[nodiscard]] double vm_absolute_load_pct(common::VmId vm) const;
+  [[nodiscard]] double global_load_pct() const;
+  [[nodiscard]] double absolute_load_pct() const;
+
+  // --- Smoothed (averaged over the last `averaging_depth` windows) ---
+  [[nodiscard]] double avg_global_load_pct() const;
+  [[nodiscard]] double avg_absolute_load_pct() const;
+
+  /// VM load in the paper's sense: VM_global_load / VM_credit * 100. The
+  /// credit is supplied by the caller (the monitor does not know scheduler
+  /// state).
+  [[nodiscard]] double vm_load_pct(common::VmId vm, common::Percent credit) const;
+
+  // --- Cumulative counters (since t = 0), for governors that sample on
+  // their own period rather than on window boundaries ---
+  [[nodiscard]] common::SimTime cumulative_busy() const { return cum_busy_all_; }
+  [[nodiscard]] common::Work cumulative_work() const { return cum_work_all_; }
+  [[nodiscard]] common::SimTime cumulative_busy(common::VmId vm) const;
+
+ private:
+  struct PerVm {
+    common::SimTime window_busy{};
+    common::Work window_work{};
+    double last_global_pct = 0.0;
+    double last_absolute_pct = 0.0;
+    common::SimTime cum_busy{};
+  };
+
+  common::SimTime window_;
+  std::vector<PerVm> per_vm_;
+  double last_global_pct_ = 0.0;
+  double last_absolute_pct_ = 0.0;
+  common::RingBuffer<double> global_ring_;
+  common::RingBuffer<double> absolute_ring_;
+  common::SimTime cum_busy_all_{};
+  common::Work cum_work_all_{};
+};
+
+}  // namespace pas::metrics

@@ -1,0 +1,52 @@
+#include "metrics/sla_checker.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace pas::metrics {
+
+void SlaChecker::register_vm(common::VmId vm, common::Percent purchased_credit) {
+  if (vm != per_vm_.size())
+    throw std::invalid_argument("SlaChecker: VM ids must be registered densely");
+  PerVm p;
+  p.purchased = purchased_credit;
+  per_vm_.push_back(p);
+}
+
+void SlaChecker::record_window(common::VmId vm, common::SimTime window, double absolute_pct,
+                               bool saturated) {
+  assert(vm < per_vm_.size());
+  auto& p = per_vm_[vm];
+  if (!saturated) return;
+  p.observed += window;
+  const double shortfall = p.purchased - absolute_pct;
+  if (shortfall > tolerance_) {
+    p.violation += window;
+    p.worst_shortfall = std::max(p.worst_shortfall, shortfall);
+  }
+}
+
+common::SimTime SlaChecker::violation_time(common::VmId vm) const {
+  assert(vm < per_vm_.size());
+  return per_vm_[vm].violation;
+}
+
+common::SimTime SlaChecker::observed_time(common::VmId vm) const {
+  assert(vm < per_vm_.size());
+  return per_vm_[vm].observed;
+}
+
+double SlaChecker::violation_fraction(common::VmId vm) const {
+  assert(vm < per_vm_.size());
+  const auto& p = per_vm_[vm];
+  if (p.observed.us() == 0) return 0.0;
+  return static_cast<double>(p.violation.us()) / static_cast<double>(p.observed.us());
+}
+
+double SlaChecker::worst_shortfall_pct(common::VmId vm) const {
+  assert(vm < per_vm_.size());
+  return per_vm_[vm].worst_shortfall;
+}
+
+}  // namespace pas::metrics

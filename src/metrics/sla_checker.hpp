@@ -1,0 +1,54 @@
+// SLA verification: did each VM get the computing capacity it bought?
+//
+// The paper's core claim is about SLAs: "this portion of the CPU was bought
+// by the client and has to be guaranteed by the provider". The checker
+// watches a VM's *absolute* capacity — the work it could perform per wall
+// second, normalized to the maximum frequency — against its purchased
+// credit, and accumulates violation time.
+//
+// A VM only exercises its SLA when it has demand; an idle VM is never in
+// violation. Callers therefore feed the checker both the measured absolute
+// load and whether the VM was demand-limited (not saturated) in the window.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+
+namespace pas::metrics {
+
+class SlaChecker {
+ public:
+  /// `tolerance_pct` absorbs quantization (a VM measured at 19.4 % against
+  /// a 20 % SLA is not a violation worth alarming on).
+  explicit SlaChecker(double tolerance_pct = 2.0) : tolerance_(tolerance_pct) {}
+
+  void register_vm(common::VmId vm, common::Percent purchased_credit);
+
+  /// Accounts one monitor window: `absolute_pct` is the VM's measured
+  /// absolute load; `saturated` means the VM wanted more CPU than it got
+  /// (it was runnable essentially the whole window). Violations only count
+  /// while saturated: an unsaturated VM chose not to use its credit.
+  void record_window(common::VmId vm, common::SimTime window, double absolute_pct,
+                     bool saturated);
+
+  [[nodiscard]] common::SimTime violation_time(common::VmId vm) const;
+  [[nodiscard]] common::SimTime observed_time(common::VmId vm) const;
+  /// Fraction of saturated time the SLA was violated, in [0,1].
+  [[nodiscard]] double violation_fraction(common::VmId vm) const;
+  /// Worst shortfall seen (purchased - delivered, in absolute %).
+  [[nodiscard]] double worst_shortfall_pct(common::VmId vm) const;
+
+ private:
+  struct PerVm {
+    common::Percent purchased = 0.0;
+    common::SimTime violation{};
+    common::SimTime observed{};  // saturated time only
+    double worst_shortfall = 0.0;
+  };
+  double tolerance_;
+  std::vector<PerVm> per_vm_;
+};
+
+}  // namespace pas::metrics

@@ -1,0 +1,71 @@
+#include "metrics/trace_recorder.hpp"
+
+#include <cassert>
+
+#include "common/csv.hpp"
+
+namespace pas::metrics {
+
+std::vector<double> TraceRecorder::series_freq() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) out.push_back(s.freq_mhz);
+  return out;
+}
+
+std::vector<double> TraceRecorder::series_vm_global(common::VmId vm) const {
+  assert(vm < vm_count_);
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) out.push_back(s.vm_global_pct[vm]);
+  return out;
+}
+
+std::vector<double> TraceRecorder::series_vm_absolute(common::VmId vm) const {
+  assert(vm < vm_count_);
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) out.push_back(s.vm_absolute_pct[vm]);
+  return out;
+}
+
+std::vector<double> TraceRecorder::series_vm_credit(common::VmId vm) const {
+  assert(vm < vm_count_);
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) out.push_back(s.vm_credit_pct[vm]);
+  return out;
+}
+
+std::vector<double> TraceRecorder::series_time_sec() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) out.push_back(s.t.sec());
+  return out;
+}
+
+void TraceRecorder::write_csv(const std::string& path) const {
+  common::CsvWriter csv{path};
+  // Build the header dynamically for the VM columns.
+  std::string head = "t_sec,freq_mhz,global_pct,absolute_pct";
+  for (std::size_t i = 0; i < vm_count_; ++i) head += ",vm" + std::to_string(i) + "_global_pct";
+  for (std::size_t i = 0; i < vm_count_; ++i)
+    head += ",vm" + std::to_string(i) + "_absolute_pct";
+  for (std::size_t i = 0; i < vm_count_; ++i) head += ",vm" + std::to_string(i) + "_credit_pct";
+  csv.raw_line(head);
+
+  for (const auto& s : samples_) {
+    std::vector<double> row;
+    row.reserve(4 + 3 * vm_count_);
+    row.push_back(s.t.sec());
+    row.push_back(s.freq_mhz);
+    row.push_back(s.global_load_pct);
+    row.push_back(s.absolute_load_pct);
+    for (double v : s.vm_global_pct) row.push_back(v);
+    for (double v : s.vm_absolute_pct) row.push_back(v);
+    for (double v : s.vm_credit_pct) row.push_back(v);
+    csv.row(row);
+  }
+}
+
+}  // namespace pas::metrics

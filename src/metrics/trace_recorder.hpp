@@ -1,0 +1,59 @@
+// Time-series recorder: samples the quantities the paper plots, at a fixed
+// stride, so benches can regenerate each figure.
+//
+// Each sample row holds, per VM, the global and absolute load of the last
+// monitor window, plus the current processor frequency — i.e. exactly the
+// series in Figs. 2–10.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+
+namespace pas::metrics {
+
+struct TraceSample {
+  common::SimTime t;
+  double freq_mhz = 0.0;
+  double global_load_pct = 0.0;    // whole host, last window
+  double absolute_load_pct = 0.0;  // whole host, last window
+  std::vector<double> vm_global_pct;
+  std::vector<double> vm_absolute_pct;
+  std::vector<double> vm_credit_pct;  // current scheduler cap per VM
+  /// 1.0 if the VM was saturated (wanted the CPU essentially the whole
+  /// window) when sampled, else 0.0. Drives SLA accounting: only a
+  /// saturated VM exercises its SLA.
+  std::vector<double> vm_saturated;
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t vm_count) : vm_count_(vm_count) {}
+
+  void add(TraceSample sample) { samples_.push_back(std::move(sample)); }
+
+  [[nodiscard]] const std::vector<TraceSample>& samples() const { return samples_; }
+  [[nodiscard]] std::size_t vm_count() const { return vm_count_; }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  /// Extracts one column as a vector (for charts/summaries).
+  [[nodiscard]] std::vector<double> series_freq() const;
+  [[nodiscard]] std::vector<double> series_vm_global(common::VmId vm) const;
+  [[nodiscard]] std::vector<double> series_vm_absolute(common::VmId vm) const;
+  [[nodiscard]] std::vector<double> series_vm_credit(common::VmId vm) const;
+  [[nodiscard]] std::vector<double> series_time_sec() const;
+
+  /// Writes the full trace as CSV to `path`
+  /// (t_sec, freq_mhz, global, absolute, vm<i>_global..., vm<i>_absolute...,
+  /// vm<i>_credit...).
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::size_t vm_count_;
+  std::vector<TraceSample> samples_;
+};
+
+}  // namespace pas::metrics

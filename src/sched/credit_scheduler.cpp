@@ -1,0 +1,110 @@
+#include "sched/credit_scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace pas::sched {
+
+CreditScheduler::CreditScheduler(CreditSchedulerConfig config) : cfg_(config) {
+  if (cfg_.accounting_period.us() <= 0)
+    throw std::invalid_argument("CreditScheduler: accounting period must be positive");
+  if (cfg_.burst_periods <= 0.0)
+    throw std::invalid_argument("CreditScheduler: burst_periods must be positive");
+}
+
+std::int64_t CreditScheduler::refill_us(const Entry& e) const {
+  return static_cast<std::int64_t>(
+      std::llround(e.cap_pct / 100.0 * static_cast<double>(cfg_.accounting_period.us())));
+}
+
+std::int64_t CreditScheduler::burst_limit_us(const Entry& e) const {
+  return static_cast<std::int64_t>(std::llround(
+      cfg_.burst_periods * e.cap_pct / 100.0 *
+      static_cast<double>(cfg_.accounting_period.us())));
+}
+
+void CreditScheduler::add_vm(common::VmId id, const hv::VmConfig& config) {
+  if (id != vms_.size())
+    throw std::invalid_argument("CreditScheduler: VM ids must be dense");
+  if (config.credit < 0.0)
+    throw std::invalid_argument("CreditScheduler: negative credit");
+  Entry e;
+  e.cap_pct = config.credit;
+  e.priority = config.priority;
+  vms_.push_back(e);
+  // Start with one refill so a VM can run before the first accounting tick.
+  vms_.back().balance_us = refill_us(vms_.back());
+}
+
+common::VmId CreditScheduler::pick(common::SimTime /*now*/,
+                                   std::span<const common::VmId> runnable) {
+  assert(!runnable.empty());
+  // Pass 1 (UNDER): highest priority VM holding positive balance;
+  // round-robin within a priority tier via the rotating cursor.
+  common::VmId best = common::kInvalidVm;
+  int best_prio = 0;
+  std::size_t best_rank = 0;
+  const std::size_t n = vms_.size();
+  for (const common::VmId id : runnable) {
+    const Entry& e = vms_.at(id);
+    const bool under = e.cap_pct > 0.0 && e.balance_us > 0;
+    if (!under) continue;
+    // Rank = distance from the cursor; smaller rank wins inside a tier.
+    const std::size_t rank = (id + n - rr_cursor_ % n) % n;
+    if (best == common::kInvalidVm || e.priority > best_prio ||
+        (e.priority == best_prio && rank < best_rank)) {
+      best = id;
+      best_prio = e.priority;
+      best_rank = rank;
+    }
+  }
+  // Pass 2 (OVER): only null-credit VMs may soak up slack.
+  if (best == common::kInvalidVm) {
+    for (const common::VmId id : runnable) {
+      const Entry& e = vms_.at(id);
+      if (e.cap_pct > 0.0) continue;
+      const std::size_t rank = (id + n - rr_cursor_ % n) % n;
+      if (best == common::kInvalidVm || e.priority > best_prio ||
+          (e.priority == best_prio && rank < best_rank)) {
+        best = id;
+        best_prio = e.priority;
+        best_rank = rank;
+      }
+    }
+  }
+  if (best != common::kInvalidVm) rr_cursor_ = best + 1;
+  return best;
+}
+
+void CreditScheduler::charge(common::VmId vm, common::SimTime busy) {
+  vms_.at(vm).balance_us -= busy.us();
+}
+
+void CreditScheduler::account(common::SimTime /*now*/) {
+  for (auto& e : vms_) {
+    if (e.cap_pct <= 0.0) {
+      e.balance_us = 0;  // null credit: runs only in the OVER pass
+      continue;
+    }
+    e.balance_us = std::min(e.balance_us + refill_us(e), burst_limit_us(e));
+  }
+}
+
+void CreditScheduler::set_cap(common::VmId vm, common::Percent cap_pct) {
+  if (cap_pct < 0.0) throw std::invalid_argument("CreditScheduler: negative cap");
+  Entry& e = vms_.at(vm);
+  e.cap_pct = cap_pct;
+  // Clamp an existing hoard to the new burst limit so a cap *reduction*
+  // (frequency went up) takes effect within one accounting period.
+  e.balance_us = std::min(e.balance_us, burst_limit_us(e));
+}
+
+common::Percent CreditScheduler::cap(common::VmId vm) const { return vms_.at(vm).cap_pct; }
+
+common::SimTime CreditScheduler::balance(common::VmId vm) const {
+  return common::usec(vms_.at(vm).balance_us);
+}
+
+}  // namespace pas::sched

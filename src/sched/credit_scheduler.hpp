@@ -1,0 +1,70 @@
+// Fixed-credit scheduler: the Xen Credit scheduler with caps (§3.1).
+//
+// Each VM holds a credit balance in microseconds of CPU time. The balance
+// refills every accounting period at cap% of the period and is clamped so an
+// idle VM cannot hoard bursts. A VM with a positive balance is UNDER and
+// eligible; a VM with a non-positive balance is OVER and — this is the
+// *fixed* credit semantics — not scheduled at all, even if the CPU would
+// otherwise idle. The single exception is the Xen "null credit" case: a VM
+// configured with credit 0 has no guarantee and no limit, and may consume
+// any slack left by capped VMs.
+//
+// Priorities: higher priority strictly preempts (the paper runs Dom0 at the
+// highest priority with 10 % credit). Equal-priority UNDER VMs are served
+// round-robin.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hypervisor/scheduler.hpp"
+
+namespace pas::sched {
+
+struct CreditSchedulerConfig {
+  /// Xen's credit accounting runs every 30 ms.
+  common::SimTime accounting_period = common::msec(30);
+  /// Maximum hoardable balance, in accounting periods' worth of refill.
+  /// The half-period of slack above one refill matters: scheduling quanta
+  /// do not divide a VM's per-period slice evenly, so an unclamped
+  /// fractional leftover must survive the refill or the VM permanently
+  /// loses it (a 70 % VM would converge to 66.7 % with a tight clamp).
+  double burst_periods = 1.5;
+};
+
+class CreditScheduler final : public hv::Scheduler {
+ public:
+  explicit CreditScheduler(CreditSchedulerConfig config = {});
+
+  [[nodiscard]] std::string_view name() const override { return "credit"; }
+  void add_vm(common::VmId id, const hv::VmConfig& config) override;
+  [[nodiscard]] common::VmId pick(common::SimTime now,
+                                  std::span<const common::VmId> runnable) override;
+  void charge(common::VmId vm, common::SimTime busy) override;
+  void account(common::SimTime now) override;
+  [[nodiscard]] common::SimTime accounting_period() const override {
+    return cfg_.accounting_period;
+  }
+  void set_cap(common::VmId vm, common::Percent cap_pct) override;
+  [[nodiscard]] common::Percent cap(common::VmId vm) const override;
+  [[nodiscard]] bool work_conserving() const override { return false; }
+
+  /// Current balance (diagnostic / tests).
+  [[nodiscard]] common::SimTime balance(common::VmId vm) const;
+
+ private:
+  struct Entry {
+    common::Percent cap_pct = 0.0;  // 0 = uncapped (null credit)
+    int priority = 0;
+    std::int64_t balance_us = 0;
+  };
+
+  [[nodiscard]] std::int64_t refill_us(const Entry& e) const;
+  [[nodiscard]] std::int64_t burst_limit_us(const Entry& e) const;
+
+  CreditSchedulerConfig cfg_;
+  std::vector<Entry> vms_;
+  std::size_t rr_cursor_ = 0;  // rotates to break ties fairly
+};
+
+}  // namespace pas::sched

@@ -1,0 +1,27 @@
+// String-driven scheduler construction for benches and examples.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "hypervisor/scheduler.hpp"
+#include "sched/credit2_scheduler.hpp"
+#include "sched/credit_scheduler.hpp"
+#include "sched/sedf_scheduler.hpp"
+
+namespace pas::sched {
+
+enum class SchedulerKind {
+  kCredit,   // fixed credit (Xen Credit with caps)
+  kSedf,     // variable credit (Xen SEDF with extra time)
+  kCredit2,  // weighted proportional share with caps (Xen Credit2-style)
+};
+
+[[nodiscard]] std::unique_ptr<hv::Scheduler> make_scheduler(SchedulerKind kind);
+
+/// "credit" or "sedf"; throws std::invalid_argument otherwise.
+[[nodiscard]] std::unique_ptr<hv::Scheduler> make_scheduler(const std::string& name);
+[[nodiscard]] SchedulerKind scheduler_kind_from_name(const std::string& name);
+[[nodiscard]] std::string to_string(SchedulerKind kind);
+
+}  // namespace pas::sched

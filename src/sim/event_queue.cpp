@@ -1,0 +1,61 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace pas::sim {
+
+EventId EventQueue::schedule(common::SimTime when, EventFn fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, id});
+  handlers_.emplace_back(id, std::move(fn));
+  ++live_;
+  return id;
+}
+
+EventFn* EventQueue::find_handler(EventId id) {
+  const auto it = std::find_if(handlers_.begin(), handlers_.end(),
+                               [id](const auto& p) { return p.first == id; });
+  return it == handlers_.end() ? nullptr : &it->second;
+}
+
+void EventQueue::erase_handler(EventId id) {
+  const auto it = std::find_if(handlers_.begin(), handlers_.end(),
+                               [id](const auto& p) { return p.first == id; });
+  if (it != handlers_.end()) {
+    // The live-event count stays small (a handful of periodic tasks), so the
+    // swap-erase is effectively O(1).
+    *it = std::move(handlers_.back());
+    handlers_.pop_back();
+  }
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (find_handler(id) == nullptr) return false;
+  erase_handler(id);
+  --live_;
+  return true;
+}
+
+void EventQueue::run_until(common::SimTime until) {
+  while (!heap_.empty() && heap_.top().when <= until) {
+    const Entry e = heap_.top();
+    heap_.pop();
+    EventFn* fn = find_handler(e.id);
+    if (fn == nullptr) continue;  // cancelled
+    EventFn handler = std::move(*fn);
+    erase_handler(e.id);
+    --live_;
+    handler(e.when);
+  }
+}
+
+common::SimTime EventQueue::next_event_time(common::SimTime fallback) const {
+  // Cancelled entries may linger at the top; we cannot pop here (const), so
+  // report their time — callers only use this as a lower bound for the next
+  // interesting instant, and a spurious early wake-up is harmless.
+  if (heap_.empty()) return fallback;
+  return heap_.top().when;
+}
+
+}  // namespace pas::sim

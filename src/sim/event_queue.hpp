@@ -1,0 +1,68 @@
+// Discrete-event core: a time-ordered queue of callbacks.
+//
+// The hypervisor host advances simulated time in scheduling quanta; all the
+// *periodic* machinery around it (credit accounting, governor sampling,
+// monitor window closing, PAS controller ticks, trace sampling) is driven by
+// events in this queue. Ordering is deterministic: ties on time break by
+// insertion sequence.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace pas::sim {
+
+using EventFn = std::function<void(common::SimTime now)>;
+
+/// Handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `when`. Events scheduled for a time in
+  /// the past fire at the next dispatch.
+  EventId schedule(common::SimTime when, EventFn fn);
+
+  /// Cancels a pending event; returns false if it already fired or was
+  /// cancelled. Cancellation is O(1) (lazy: the entry is skipped at pop).
+  bool cancel(EventId id);
+
+  /// Runs every event with time <= `until`, in (time, insertion) order.
+  /// Events may schedule further events; those also run if due.
+  void run_until(common::SimTime until);
+
+  /// Time of the earliest pending event, or `fallback` if none.
+  [[nodiscard]] common::SimTime next_event_time(common::SimTime fallback) const;
+
+  [[nodiscard]] std::size_t pending() const { return live_; }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+
+ private:
+  struct Entry {
+    common::SimTime when;
+    EventId id = kInvalidEvent;
+    // Ordered min-first by (when, id); std::priority_queue is max-first, so
+    // invert the comparison.
+    bool operator<(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return id > other.id;
+    }
+  };
+
+  std::priority_queue<Entry> heap_;
+  // id -> callback; erased on fire/cancel. Using a side map keeps cancel O(1)
+  // and keeps std::function moves off the heap's sift paths.
+  std::vector<std::pair<EventId, EventFn>> handlers_;
+  EventFn* find_handler(EventId id);
+  void erase_handler(EventId id);
+
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace pas::sim

@@ -1,0 +1,52 @@
+// Self-rearming periodic task on top of the EventQueue.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "common/units.hpp"
+#include "sim/event_queue.hpp"
+
+namespace pas::sim {
+
+/// Fires `fn(now)` every `period`, starting at `first` (absolute). The task
+/// owns its rearm logic; destroying it (or calling stop()) cancels the next
+/// firing. Must not outlive the queue.
+class PeriodicTask {
+ public:
+  PeriodicTask(EventQueue& queue, common::SimTime first, common::SimTime period,
+               std::function<void(common::SimTime)> fn)
+      : queue_(queue), period_(period), fn_(std::move(fn)) {
+    arm(first);
+  }
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  ~PeriodicTask() { stop(); }
+
+  void stop() {
+    if (pending_ != kInvalidEvent) {
+      queue_.cancel(pending_);
+      pending_ = kInvalidEvent;
+    }
+  }
+
+  [[nodiscard]] common::SimTime period() const { return period_; }
+
+ private:
+  void arm(common::SimTime when) {
+    pending_ = queue_.schedule(when, [this](common::SimTime now) {
+      pending_ = kInvalidEvent;
+      arm(now + period_);
+      fn_(now);
+    });
+  }
+
+  EventQueue& queue_;
+  common::SimTime period_;
+  std::function<void(common::SimTime)> fn_;
+  EventId pending_ = kInvalidEvent;
+};
+
+}  // namespace pas::sim

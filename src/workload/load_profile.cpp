@@ -1,0 +1,49 @@
+#include "workload/load_profile.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pas::wl {
+
+LoadProfile::LoadProfile(std::vector<Step> steps) : steps_(std::move(steps)) {
+  for (std::size_t i = 1; i < steps_.size(); ++i) {
+    if (!(steps_[i - 1].start < steps_[i].start))
+      throw std::invalid_argument("LoadProfile: steps must be strictly increasing");
+  }
+  for (const auto& s : steps_) {
+    if (s.value < 0.0) throw std::invalid_argument("LoadProfile: negative value");
+  }
+}
+
+LoadProfile LoadProfile::constant(double value) {
+  return LoadProfile{{Step{common::usec(0), value}}};
+}
+
+LoadProfile LoadProfile::pulse(common::SimTime active_from, common::SimTime active_until,
+                               double value) {
+  if (!(active_from < active_until))
+    throw std::invalid_argument("LoadProfile::pulse: empty active interval");
+  return LoadProfile{{Step{active_from, value}, Step{active_until, 0.0}}};
+}
+
+double LoadProfile::at(common::SimTime t) const {
+  double v = 0.0;
+  for (const auto& s : steps_) {
+    if (s.start <= t) {
+      v = s.value;
+    } else {
+      break;
+    }
+  }
+  return v;
+}
+
+common::SimTime LoadProfile::next_change_after(common::SimTime t,
+                                               common::SimTime horizon) const {
+  for (const auto& s : steps_) {
+    if (s.start > t) return s.start < horizon ? s.start : horizon;
+  }
+  return horizon;
+}
+
+}  // namespace pas::wl

@@ -1,0 +1,47 @@
+// Piecewise-constant time profile.
+//
+// Encodes the paper's three-phase execution profile (§5.3): each VM is
+// inactive, then active (receiving load from the injector), then inactive
+// again. The profile maps simulated time to a scalar — for the web app it
+// is the request rate in requests/second; 0 means inactive.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace pas::wl {
+
+class LoadProfile {
+ public:
+  struct Step {
+    common::SimTime start;  // value applies from here until the next step
+    double value = 0.0;
+  };
+
+  /// Steps must be strictly increasing in start time; the value before the
+  /// first step is 0. Throws std::invalid_argument otherwise.
+  explicit LoadProfile(std::vector<Step> steps);
+
+  /// Constant value from t = 0 onward.
+  static LoadProfile constant(double value);
+
+  /// The paper's inactive/active/inactive shape: `value` on
+  /// [active_from, active_until), 0 elsewhere.
+  static LoadProfile pulse(common::SimTime active_from, common::SimTime active_until,
+                           double value);
+
+  [[nodiscard]] double at(common::SimTime t) const;
+
+  /// First profile change strictly after `t`, or `horizon` if none. Lets
+  /// arrival generators integrate the rate segment by segment.
+  [[nodiscard]] common::SimTime next_change_after(common::SimTime t,
+                                                  common::SimTime horizon) const;
+
+  [[nodiscard]] const std::vector<Step>& steps() const { return steps_; }
+
+ private:
+  std::vector<Step> steps_;
+};
+
+}  // namespace pas::wl

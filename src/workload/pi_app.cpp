@@ -1,0 +1,25 @@
+#include "workload/pi_app.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pas::wl {
+
+PiApp::PiApp(common::Work total, common::SimTime start)
+    : total_(total), remaining_(total), start_(start) {
+  assert(total.mfus() > 0.0);
+}
+
+void PiApp::advance_to(common::SimTime now) { now_ = now; }
+
+bool PiApp::runnable() const { return now_ >= start_ && !finished(); }
+
+common::Work PiApp::consume(common::SimTime now, common::Work budget) {
+  if (!runnable()) return common::Work{};
+  const common::Work done = std::min(budget, remaining_);
+  remaining_ -= done;
+  if (finished() && !completed_at_) completed_at_ = now;
+  return done;
+}
+
+}  // namespace pas::wl

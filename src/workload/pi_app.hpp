@@ -1,0 +1,39 @@
+// pi-app: the paper's CPU-bound batch workload (§5.1).
+//
+// "when we aim at measuring an execution time, we use an application which
+// computes an approximation of pi" — semantically, a fixed amount of pure
+// CPU work whose completion time is the measurement. Used by Fig. 1
+// (compensation sweep) and Table 2 (platform comparison).
+#pragma once
+
+#include <optional>
+
+#include "common/units.hpp"
+#include "workload/workload.hpp"
+
+namespace pas::wl {
+
+class PiApp final : public Workload {
+ public:
+  /// Performs `total` work, becoming runnable at `start`.
+  PiApp(common::Work total, common::SimTime start = common::usec(0));
+
+  void advance_to(common::SimTime now) override;
+  [[nodiscard]] bool runnable() const override;
+  common::Work consume(common::SimTime now, common::Work budget) override;
+  [[nodiscard]] bool finished() const override { return remaining_ <= common::Work{}; }
+
+  /// Completion instant (quantum precision), once finished.
+  [[nodiscard]] std::optional<common::SimTime> completion_time() const { return completed_at_; }
+  [[nodiscard]] common::Work remaining() const { return remaining_; }
+  [[nodiscard]] common::Work total() const { return total_; }
+
+ private:
+  common::Work total_;
+  common::Work remaining_;
+  common::SimTime start_;
+  common::SimTime now_{};
+  std::optional<common::SimTime> completed_at_;
+};
+
+}  // namespace pas::wl

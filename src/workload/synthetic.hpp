@@ -1,0 +1,61 @@
+// Additional synthetic workloads used by tests, calibration and examples.
+#pragma once
+
+#include <utility>
+
+#include "common/units.hpp"
+#include "workload/load_profile.hpp"
+#include "workload/workload.hpp"
+
+namespace pas::wl {
+
+/// Always-runnable CPU hog (infinite demand). The canonical "thrashing"
+/// load: the VM saturates whatever capacity the scheduler grants it.
+class BusyLoop final : public Workload {
+ public:
+  BusyLoop() = default;
+  void advance_to(common::SimTime now) override { now_ = now; }
+  [[nodiscard]] bool runnable() const override { return true; }
+  common::Work consume(common::SimTime /*now*/, common::Work budget) override {
+    total_ += budget;
+    return budget;
+  }
+  [[nodiscard]] common::Work total_consumed() const { return total_; }
+
+ private:
+  common::SimTime now_{};
+  common::Work total_{};
+};
+
+/// Never-runnable workload (a fully idle guest).
+class IdleGuest final : public Workload {
+ public:
+  void advance_to(common::SimTime /*now*/) override {}
+  [[nodiscard]] bool runnable() const override { return false; }
+  common::Work consume(common::SimTime /*now*/, common::Work /*budget*/) override {
+    return common::Work{};
+  }
+};
+
+/// A CPU hog gated by a profile: thrashing while the profile is non-zero,
+/// idle otherwise. This is the paper's "thrashing load" shaped by the
+/// three-phase execution profile — unlike WebApp there is no queue, so the
+/// demand vanishes instantly when the phase ends.
+class GatedBusyLoop final : public Workload {
+ public:
+  explicit GatedBusyLoop(LoadProfile gate) : gate_(std::move(gate)) {}
+  void advance_to(common::SimTime now) override { now_ = now; }
+  [[nodiscard]] bool runnable() const override { return gate_.at(now_) > 0.0; }
+  common::Work consume(common::SimTime /*now*/, common::Work budget) override {
+    total_ += budget;
+    return budget;
+  }
+  [[nodiscard]] common::Work total_consumed() const { return total_; }
+
+ private:
+  LoadProfile gate_;
+  common::SimTime now_{};
+  common::Work total_{};
+};
+
+}  // namespace pas::wl

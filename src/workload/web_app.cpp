@@ -1,0 +1,103 @@
+#include "workload/web_app.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace pas::wl {
+
+namespace {
+
+constexpr common::SimTime kFarFuture = common::seconds(1'000'000'000);
+
+common::SimTime from_seconds(double s) {
+  return common::usec(static_cast<std::int64_t>(std::ceil(s * 1e6)));
+}
+
+}  // namespace
+
+WebApp::WebApp(LoadProfile rate_profile, WebAppConfig config)
+    : rate_(std::move(rate_profile)), cfg_(config), rng_(config.seed) {
+  assert(cfg_.request_cost.mfus() > 0.0);
+}
+
+double WebApp::rate_for_demand(common::Percent demand_pct, common::Work cost) {
+  assert(cost.mfus() > 0.0);
+  // demand_pct % of the max-frequency processor equals demand_pct/100
+  // max-frequency seconds of work per wall second.
+  return (demand_pct / 100.0) * 1e6 / cost.mfus();
+}
+
+void WebApp::generate_arrivals(common::SimTime until) {
+  while (clock_ < until) {
+    const double rate = rate_.at(clock_);
+    const common::SimTime change = rate_.next_change_after(clock_, kFarFuture);
+
+    if (rate <= 0.0) {
+      clock_ = std::min(change, until);
+      arrival_pending_ = false;
+      continue;
+    }
+
+    if (!arrival_pending_) {
+      const double mean_gap_s = 1.0 / rate;
+      const double wait_s = cfg_.poisson ? rng_.exponential(mean_gap_s) : mean_gap_s;
+      next_arrival_ = clock_ + from_seconds(wait_s);
+      arrival_pending_ = true;
+    }
+
+    const common::SimTime seg_end = std::min(change, until);
+    if (next_arrival_ <= seg_end) {
+      clock_ = next_arrival_;
+      arrival_pending_ = false;
+      ++arrived_;
+      common::Work cost = cfg_.request_cost;
+      if (cfg_.cost_jitter > 0.0) {
+        const double factor = std::max(
+            0.1, rng_.normal(1.0, cfg_.cost_jitter));
+        cost = cost * factor;
+      }
+      demand_ += cost;
+      if (queue_.size() >= cfg_.queue_capacity) {
+        ++dropped_;
+      } else {
+        queue_.push_back(Request{clock_, cost});
+      }
+    } else if (change <= until) {
+      // Rate boundary before the pending arrival: restart the arrival
+      // process in the new segment (exact for Poisson — memoryless).
+      clock_ = change;
+      arrival_pending_ = false;
+    } else {
+      // Nothing more happens inside this advance window; keep the pending
+      // arrival armed for the next call.
+      clock_ = until;
+    }
+  }
+}
+
+void WebApp::advance_to(common::SimTime now) { generate_arrivals(now); }
+
+common::Work WebApp::consume(common::SimTime now, common::Work budget) {
+  common::Work consumed{};
+  while (budget > common::Work{} && !queue_.empty()) {
+    Request& head = queue_.front();
+    if (head.remaining <= budget) {
+      budget -= head.remaining;
+      consumed += head.remaining;
+      served_ += head.remaining;
+      ++completed_;
+      latency_sec_.add((now - head.arrival).sec());
+      queue_.pop_front();
+    } else {
+      head.remaining -= budget;
+      consumed += budget;
+      served_ += budget;
+      budget = common::Work{};
+    }
+  }
+  return consumed;
+}
+
+}  // namespace pas::wl

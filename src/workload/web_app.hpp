@@ -1,0 +1,89 @@
+// Web-app: the paper's interactive workload — a Joomla CMS server loaded by
+// httperf (§5.1). We model what matters for the scheduling experiments: an
+// OPEN-LOOP request generator (httperf keeps sending at the configured rate
+// whether or not the server keeps up) feeding a CPU-bound service queue.
+//
+// The paper's two load intensities map to the request rate:
+//  * exact load    — rate * cost = 100 % of the VM's credited capacity at
+//                    the maximum frequency, and no more;
+//  * thrashing load — rate * cost exceeds the VM's capacity (the VM will
+//                    saturate whatever the scheduler lets it have).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/random.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "workload/load_profile.hpp"
+#include "workload/workload.hpp"
+
+namespace pas::wl {
+
+struct WebAppConfig {
+  /// CPU cost of one request in max-frequency work. 10 ms of max-frequency
+  /// CPU per request is Joomla-plausible and keeps queues in sane ranges.
+  common::Work request_cost = common::mf_usec(10'000);
+  /// Relative stddev of per-request cost (PHP requests are not uniform);
+  /// 0 disables jitter.
+  double cost_jitter = 0.10;
+  /// Deterministic arrivals (exactly periodic) instead of Poisson. The
+  /// paper's httperf injector is near-periodic; Poisson adds realism for
+  /// governor-stability experiments.
+  bool poisson = true;
+  /// Max queued requests; beyond this the server drops (connection refused).
+  std::size_t queue_capacity = 10'000;
+  std::uint64_t seed = 1;
+};
+
+class WebApp final : public Workload {
+ public:
+  /// `rate_profile` gives the request rate in requests/second over time.
+  WebApp(LoadProfile rate_profile, WebAppConfig config);
+
+  void advance_to(common::SimTime now) override;
+  [[nodiscard]] bool runnable() const override { return !queue_.empty(); }
+  common::Work consume(common::SimTime now, common::Work budget) override;
+
+  // --- Service statistics (SLA metrics) ---
+  [[nodiscard]] std::uint64_t arrived() const { return arrived_; }
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  /// Response-time statistics over completed requests (seconds).
+  [[nodiscard]] const common::RunningStats& latency_sec() const { return latency_sec_; }
+  /// Total work injected so far (arrived * cost) — the demand side.
+  [[nodiscard]] common::Work demand_generated() const { return demand_; }
+  /// Total work served so far — the supply side.
+  [[nodiscard]] common::Work work_served() const { return served_; }
+
+  /// Request rate (req/s) that generates `demand_pct` percent of the
+  /// max-frequency processor as CPU demand, for a given per-request cost.
+  [[nodiscard]] static double rate_for_demand(common::Percent demand_pct, common::Work cost);
+
+ private:
+  struct Request {
+    common::SimTime arrival;
+    common::Work remaining;
+  };
+
+  void generate_arrivals(common::SimTime until);
+
+  LoadProfile rate_;
+  WebAppConfig cfg_;
+  common::Rng rng_;
+  common::SimTime clock_{};        // arrivals generated up to here
+  common::SimTime next_arrival_{};  // candidate arrival instant (valid in a segment)
+  bool arrival_pending_ = false;
+
+  std::deque<Request> queue_;
+  std::uint64_t arrived_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t dropped_ = 0;
+  common::Work demand_{};
+  common::Work served_{};
+  common::RunningStats latency_sec_;
+};
+
+}  // namespace pas::wl

@@ -1,0 +1,39 @@
+// Workload interface: what a guest OS does with the CPU time it is given.
+//
+// The hypervisor host drives workloads through three calls per scheduling
+// quantum: advance_to (deliver arrivals / phase changes up to `now`),
+// runnable (does the VM want the CPU right now?), and consume (the VM ran
+// and may perform up to `budget` units of work).
+//
+// Work is expressed in max-frequency units (see common/units.hpp), so a
+// workload is frequency-oblivious — exactly like a real guest, which only
+// notices DVFS through how little it gets done per wall second.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace pas::wl {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Advances workload-internal state (request arrivals, phase boundaries)
+  /// to time `now`. Called at least once per scheduling quantum, with
+  /// monotonically non-decreasing `now`.
+  virtual void advance_to(common::SimTime now) = 0;
+
+  /// True if the VM has CPU work pending at the last advanced-to instant.
+  [[nodiscard]] virtual bool runnable() const = 0;
+
+  /// The VM was scheduled at `now` and may perform up to `budget` work.
+  /// Returns the work actually performed (< budget iff the VM ran out of
+  /// pending work mid-slice and blocked).
+  virtual common::Work consume(common::SimTime now, common::Work budget) = 0;
+
+  /// True once the workload will never become runnable again (pi-app after
+  /// completing its computation). Open-loop servers never finish.
+  [[nodiscard]] virtual bool finished() const { return false; }
+};
+
+}  // namespace pas::wl

@@ -1,0 +1,66 @@
+#include "calibration/cf_calibrator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::calib {
+namespace {
+
+CfCalibratorConfig fast_config() {
+  CfCalibratorConfig c;
+  c.demand_levels_pct = {15.0, 25.0};
+  c.measure_time = common::seconds(40);
+  c.warmup = common::seconds(5);
+  return c;
+}
+
+TEST(CfCalibratorTest, RecoversTurboCf) {
+  // E5-2620-style machine: ground truth cf_min ≈ 0.803.
+  const auto spec = table1_machines()[2];
+  const CfReport report = calibrate(spec, fast_config());
+  ASSERT_EQ(report.states.size(), spec.nominal_mhz.size());
+  EXPECT_NEAR(report.cf_min, expected_cf_min(spec), 0.03);
+  // cf is (approximately) constant across states — what the paper observed.
+  for (const auto& m : report.states) {
+    if (m.state_index == report.states.size() - 1) continue;  // top is 1 by construction
+    EXPECT_NEAR(m.cf, expected_cf_min(spec), 0.04) << "state " << m.state_index;
+  }
+}
+
+TEST(CfCalibratorTest, FlatMachineCalibratesToOne) {
+  const MachineSpec flat{"flat", {1200, 1800, 2400}, 0.0, 1.0, 7};
+  const CfReport report = calibrate(flat, fast_config());
+  EXPECT_NEAR(report.cf_min, 1.0, 0.03);
+}
+
+TEST(CfCalibratorTest, MeasuredLoadScalesInverselyWithSpeed) {
+  const MachineSpec spec{"turbo", {1000, 2000}, 2500.0, 1.0, 3};
+  const CfReport report = calibrate(spec, fast_config());
+  // Low state true speed 0.4 vs top 1.0: same demand -> 2.5x the load.
+  ASSERT_EQ(report.states.size(), 2u);
+  EXPECT_NEAR(report.states[0].mean_load_pct / report.states[1].mean_load_pct, 2.5, 0.2);
+}
+
+TEST(CfCalibratorTest, CalibratedLadderCarriesCf) {
+  const auto spec = table1_machines()[2];
+  const CfReport report = calibrate(spec, fast_config());
+  const auto ladder = calibrated_ladder(report, spec);
+  ASSERT_EQ(ladder.size(), spec.nominal_mhz.size());
+  EXPECT_NEAR(ladder.at(0).cf, report.cf_min, 1e-12);
+  EXPECT_DOUBLE_EQ(ladder.max().freq.value(), spec.nominal_mhz.back());
+}
+
+TEST(CfCalibratorTest, RejectsEmptyDemands) {
+  CfCalibratorConfig c = fast_config();
+  c.demand_levels_pct.clear();
+  EXPECT_THROW((void)calibrate(table1_machines()[1], c), std::invalid_argument);
+}
+
+TEST(CfCalibratorTest, MismatchedLadderRejected) {
+  const auto spec_a = table1_machines()[0];
+  const auto spec_b = table1_machines()[1];
+  const CfReport report = calibrate(spec_b, fast_config());
+  EXPECT_THROW((void)calibrated_ladder(report, spec_a), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pas::calib

@@ -1,0 +1,75 @@
+#include "calibration/machine_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::calib {
+namespace {
+
+TEST(MachineModelTest, CatalogHasFiveMachines) {
+  const auto machines = table1_machines();
+  ASSERT_EQ(machines.size(), 5u);
+  EXPECT_EQ(machines[0].name, "Intel Xeon X3440");
+  EXPECT_EQ(machines[4].name, "Intel Core i7-3770");
+}
+
+TEST(MachineModelTest, ExpectedCfMatchesPaperTable1) {
+  // The model parameters were chosen so ground truth lands on the measured
+  // row of Table 1 within a fraction of a percent.
+  const double paper[] = {0.94867, 0.99903, 0.80338, 0.99508, 0.86206};
+  const auto machines = table1_machines();
+  for (std::size_t i = 0; i < machines.size(); ++i) {
+    EXPECT_NEAR(expected_cf_min(machines[i]), paper[i], 0.005) << machines[i].name;
+  }
+}
+
+TEST(MachineModelTest, NoTurboMeansCfNearOne) {
+  MachineSpec spec{"flat", {1000, 2000}, 0.0, 1.0, 1};
+  EXPECT_DOUBLE_EQ(expected_cf_min(spec), 1.0);
+}
+
+TEST(MachineModelTest, TurboLowersCf) {
+  MachineSpec spec{"turbo", {1000, 2000}, 2500.0, 1.0, 1};
+  EXPECT_DOUBLE_EQ(expected_cf_min(spec), 0.8);
+}
+
+TEST(MachineModelTest, SpeedFnTopStateIsFullSpeed) {
+  MachineSpec spec{"turbo", {1000, 2000}, 2500.0, 1.0, 1};
+  const auto fn = speed_fn(spec);
+  EXPECT_DOUBLE_EQ(fn(1), 1.0);
+  // Lower state: 1000 MHz of a 2500 MHz-effective machine.
+  EXPECT_DOUBLE_EQ(fn(0), 0.4);
+}
+
+TEST(MachineModelTest, LowStateEfficiencyApplies) {
+  MachineSpec spec{"drift", {1000, 2000}, 0.0, 0.99, 1};
+  const auto fn = speed_fn(spec);
+  EXPECT_DOUBLE_EQ(fn(0), 0.5 * 0.99);
+  EXPECT_DOUBLE_EQ(fn(1), 1.0);
+}
+
+TEST(MachineModelTest, NominalLadderHasUnitCf) {
+  const auto spec = table1_machines()[2];  // E5-2620
+  const auto ladder = nominal_ladder(spec);
+  ASSERT_EQ(ladder.size(), spec.nominal_mhz.size());
+  for (std::size_t i = 0; i < ladder.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ladder.at(i).cf, 1.0);
+    EXPECT_DOUBLE_EQ(ladder.at(i).freq.value(), spec.nominal_mhz[i]);
+  }
+}
+
+TEST(MachineModelTest, MakeCpuModelInstallsOverride) {
+  const MachineSpec spec{"turbo", {1000, 2000}, 2500.0, 1.0, 1};
+  auto cpu = make_cpu_model(spec);
+  cpu.set_index(0);
+  EXPECT_DOUBLE_EQ(cpu.speed(), 0.4);  // true speed, not the nominal 0.5
+  cpu.set_index(1);
+  EXPECT_DOUBLE_EQ(cpu.speed(), 1.0);
+}
+
+TEST(MachineModelTest, RejectsEmptyLadder) {
+  const MachineSpec spec{"empty", {}, 0.0, 1.0, 1};
+  EXPECT_THROW((void)nominal_ladder(spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pas::calib

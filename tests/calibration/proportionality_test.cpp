@@ -1,0 +1,72 @@
+// §5.2's assumption checks, run against the simulated substrate. On a
+// ladder with cf = 1 everywhere, all implied cf values must come out ≈ 1
+// and the time/credit ratios must track the paper's equations.
+#include "calibration/proportionality.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::calib {
+namespace {
+
+const cpu::FrequencyLadder kLadder = cpu::FrequencyLadder::paper_default();
+
+TEST(ProportionalityTest, Eq1LoadScalesWithFrequency) {
+  const auto rows =
+      verify_eq1_frequency_load(kLadder, {15.0}, common::seconds(40));
+  ASSERT_EQ(rows.size(), kLadder.size());
+  for (const auto& r : rows) {
+    EXPECT_NEAR(r.implied_cf, 1.0, 0.05) << "state " << r.state_index;
+    // The measured load itself: demand / ratio.
+    EXPECT_NEAR(r.load_pct, 15.0 / r.ratio, 1.5) << "state " << r.state_index;
+  }
+}
+
+TEST(ProportionalityTest, Eq2TimeScalesWithFrequency) {
+  const auto rows = verify_eq2_frequency_time(kLadder, common::mf_seconds(20));
+  ASSERT_EQ(rows.size(), kLadder.size());
+  for (const auto& r : rows) {
+    EXPECT_NEAR(r.implied_cf, 1.0, 0.02) << "state " << r.state_index;
+    EXPECT_NEAR(r.exec_time_sec, 20.0 / r.ratio, 0.5) << "state " << r.state_index;
+  }
+}
+
+TEST(ProportionalityTest, Eq3TimeScalesWithCredit) {
+  const auto rows =
+      verify_eq3_credit_time(kLadder, {10, 20, 40, 80}, common::mf_seconds(10));
+  ASSERT_EQ(rows.size(), 4u);
+  for (const auto& r : rows) {
+    // time_ratio (T_init/T_j) must equal credit_ratio (C_j/C_init).
+    EXPECT_NEAR(r.time_ratio, r.credit_ratio, 0.05 * r.credit_ratio) << r.credit;
+  }
+  EXPECT_NEAR(rows[0].exec_time_sec, 100.0, 2.0);  // 10 mf-s at 10 %
+  EXPECT_NEAR(rows[3].exec_time_sec, 12.5, 1.0);   // 10 mf-s at 80 %
+}
+
+TEST(ProportionalityTest, MeasurePiTimeMatchesTheory) {
+  EXPECT_NEAR(measure_pi_time_sec(kLadder, kLadder.max_index(), 100.0,
+                                  common::mf_seconds(5)),
+              5.0, 0.1);
+  EXPECT_NEAR(measure_pi_time_sec(kLadder, 0, 100.0, common::mf_seconds(5)),
+              5.0 / (1600.0 / 2667.0), 0.2);
+  EXPECT_NEAR(measure_pi_time_sec(kLadder, kLadder.max_index(), 50.0,
+                                  common::mf_seconds(5)),
+              10.0, 0.2);
+}
+
+TEST(ProportionalityTest, MeasurePiTimeRejectsZeroCredit) {
+  EXPECT_THROW((void)measure_pi_time_sec(kLadder, 0, 0.0, common::mf_seconds(1)),
+               std::invalid_argument);
+}
+
+TEST(ProportionalityTest, Eq2OnCfLadderReflectsCf) {
+  // With cf = 0.8 installed at the low state, the implied cf measured from
+  // execution times must recover ≈ 0.8.
+  const cpu::FrequencyLadder ladder{
+      {cpu::PState{common::mhz(1600), 0.8}, cpu::PState{common::mhz(2667), 1.0}}};
+  const auto rows = verify_eq2_frequency_time(ladder, common::mf_seconds(10));
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_NEAR(rows[0].implied_cf, 0.8, 0.03);
+}
+
+}  // namespace
+}  // namespace pas::calib

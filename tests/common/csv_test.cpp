@@ -1,0 +1,65 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace pas::common {
+namespace {
+
+TEST(CsvTest, EscapePlainField) { EXPECT_EQ(CsvWriter::escape("abc"), "abc"); }
+
+TEST(CsvTest, EscapeComma) { EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\""); }
+
+TEST(CsvTest, EscapeQuote) { EXPECT_EQ(CsvWriter::escape("a\"b"), "\"a\"\"b\""); }
+
+TEST(CsvTest, EscapeNewline) { EXPECT_EQ(CsvWriter::escape("a\nb"), "\"a\nb\""); }
+
+TEST(CsvTest, InMemoryRows) {
+  CsvWriter w;
+  w.header({"t", "x"});
+  w.row({1.0, 2.5});
+  w.row({2.0, 3.5});
+  EXPECT_EQ(w.str(), "t,x\n1,2.5\n2,3.5\n");
+}
+
+TEST(CsvTest, LabeledRow) {
+  CsvWriter w;
+  w.labeled_row("xen,credit", std::vector<double>{1.0});
+  EXPECT_EQ(w.str(), "\"xen,credit\",1\n");
+}
+
+TEST(CsvTest, RawLine) {
+  CsvWriter w;
+  w.raw_line("a,b,c");
+  EXPECT_EQ(w.str(), "a,b,c\n");
+}
+
+TEST(CsvTest, FormatNumber) {
+  EXPECT_EQ(format_number(12.345), "12.345");
+  EXPECT_EQ(format_number(2.0), "2");
+  EXPECT_EQ(format_number(0.5), "0.5");
+}
+
+TEST(CsvTest, WritesFile) {
+  const std::string path = ::testing::TempDir() + "/pas_csv_test.csv";
+  {
+    CsvWriter w{path};
+    w.header({"a", "b"});
+    w.row({1.0, 2.0});
+  }
+  std::ifstream in{path};
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "a,b\n1,2\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter{"/nonexistent-dir-xyz/file.csv"}, std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pas::common

@@ -1,0 +1,53 @@
+#include "common/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::common {
+namespace {
+
+Flags make(std::initializer_list<const char*> args) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), args.begin(), args.end());
+  return Flags{static_cast<int>(v.size()), v.data()};
+}
+
+TEST(FlagsTest, KeyValue) {
+  const Flags f = make({"--csv=out.csv", "--n=5"});
+  EXPECT_EQ(f.get_or("csv", ""), "out.csv");
+  EXPECT_EQ(f.get_int("n", 0), 5);
+}
+
+TEST(FlagsTest, BareSwitch) {
+  const Flags f = make({"--verbose"});
+  EXPECT_TRUE(f.has("verbose"));
+  EXPECT_FALSE(f.has("quiet"));
+  EXPECT_EQ(f.get("verbose").value(), "");
+}
+
+TEST(FlagsTest, Positionals) {
+  const Flags f = make({"alpha", "--x=1", "beta"});
+  ASSERT_EQ(f.positionals().size(), 2u);
+  EXPECT_EQ(f.positionals()[0], "alpha");
+  EXPECT_EQ(f.positionals()[1], "beta");
+}
+
+TEST(FlagsTest, Defaults) {
+  const Flags f = make({});
+  EXPECT_EQ(f.get_or("missing", "d"), "d");
+  EXPECT_DOUBLE_EQ(f.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(f.get_int("missing", -3), -3);
+  EXPECT_FALSE(f.get("missing").has_value());
+}
+
+TEST(FlagsTest, DoubleParsing) {
+  const Flags f = make({"--ratio=0.75"});
+  EXPECT_DOUBLE_EQ(f.get_double("ratio", 0.0), 0.75);
+}
+
+TEST(FlagsTest, ValueWithEquals) {
+  const Flags f = make({"--expr=a=b"});
+  EXPECT_EQ(f.get_or("expr", ""), "a=b");
+}
+
+}  // namespace
+}  // namespace pas::common

@@ -1,0 +1,94 @@
+#include "common/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace pas::common {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng r{7};
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRange) {
+  Rng r{9};
+  RunningStats s;
+  for (int i = 0; i < 20'000; ++i) {
+    const double x = r.uniform(5.0, 15.0);
+    EXPECT_GE(x, 5.0);
+    EXPECT_LT(x, 15.0);
+    s.add(x);
+  }
+  EXPECT_NEAR(s.mean(), 10.0, 0.1);
+}
+
+TEST(RngTest, NextBelowCoversRange) {
+  Rng r{11};
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50'000; ++i) ++counts[r.next_below(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, 4000);
+    EXPECT_LT(c, 6000);
+  }
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng r{13};
+  RunningStats s;
+  for (int i = 0; i < 100'000; ++i) s.add(r.exponential(0.05));
+  EXPECT_NEAR(s.mean(), 0.05, 0.002);
+  EXPECT_GE(s.min(), 0.0);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng r{17};
+  RunningStats s;
+  for (int i = 0; i < 100'000; ++i) s.add(r.normal(3.0, 0.5));
+  EXPECT_NEAR(s.mean(), 3.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceProbability) {
+  Rng r{19};
+  int hits = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    if (r.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 100'000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, SplitStreamsIndependent) {
+  Rng parent{23};
+  Rng child = parent.split();
+  // The child stream must not replay the parent's output.
+  Rng parent2{23};
+  (void)parent2.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.next_u64() == parent2.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace pas::common

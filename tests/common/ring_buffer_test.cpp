@@ -1,0 +1,87 @@
+#include "common/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::common {
+namespace {
+
+TEST(RingBufferTest, StartsEmpty) {
+  RingBuffer<int> rb{3};
+  EXPECT_TRUE(rb.empty());
+  EXPECT_EQ(rb.size(), 0u);
+  EXPECT_EQ(rb.capacity(), 3u);
+  EXPECT_FALSE(rb.full());
+}
+
+TEST(RingBufferTest, PushUntilFull) {
+  RingBuffer<int> rb{3};
+  rb.push(1);
+  rb.push(2);
+  EXPECT_EQ(rb.size(), 2u);
+  EXPECT_FALSE(rb.full());
+  rb.push(3);
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.at(0), 1);
+  EXPECT_EQ(rb.at(1), 2);
+  EXPECT_EQ(rb.at(2), 3);
+  EXPECT_EQ(rb.back(), 3);
+}
+
+TEST(RingBufferTest, EvictsOldest) {
+  RingBuffer<int> rb{3};
+  for (int i = 1; i <= 5; ++i) rb.push(i);
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb.at(0), 3);
+  EXPECT_EQ(rb.at(1), 4);
+  EXPECT_EQ(rb.at(2), 5);
+  EXPECT_EQ(rb.back(), 5);
+}
+
+TEST(RingBufferTest, WrapsManyTimes) {
+  RingBuffer<int> rb{4};
+  for (int i = 0; i < 103; ++i) rb.push(i);
+  EXPECT_EQ(rb.at(0), 99);
+  EXPECT_EQ(rb.at(3), 102);
+}
+
+TEST(RingBufferTest, Clear) {
+  RingBuffer<int> rb{2};
+  rb.push(1);
+  rb.push(2);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push(7);
+  EXPECT_EQ(rb.back(), 7);
+  EXPECT_EQ(rb.at(0), 7);
+}
+
+TEST(RingBufferTest, ForEachVisitsOldestToNewest) {
+  RingBuffer<int> rb{3};
+  for (int i = 1; i <= 4; ++i) rb.push(i);
+  std::vector<int> seen;
+  rb.for_each([&](int v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<int>{2, 3, 4}));
+}
+
+TEST(RingBufferTest, MeanOf) {
+  RingBuffer<double> rb{3};
+  EXPECT_DOUBLE_EQ(mean_of(rb), 0.0);
+  rb.push(10.0);
+  EXPECT_DOUBLE_EQ(mean_of(rb), 10.0);
+  rb.push(20.0);
+  rb.push(30.0);
+  EXPECT_DOUBLE_EQ(mean_of(rb), 20.0);
+  rb.push(40.0);  // evicts 10
+  EXPECT_DOUBLE_EQ(mean_of(rb), 30.0);
+}
+
+TEST(RingBufferTest, CapacityOne) {
+  RingBuffer<int> rb{1};
+  rb.push(1);
+  rb.push(2);
+  EXPECT_EQ(rb.size(), 1u);
+  EXPECT_EQ(rb.back(), 2);
+}
+
+}  // namespace
+}  // namespace pas::common

@@ -1,0 +1,110 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace pas::common {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, SingleSampleVarianceIsZero) {
+  RunningStats s;
+  s.add(3.14);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.14);
+}
+
+TEST(RunningStatsTest, MergeMatchesPooled) {
+  RunningStats a, b, pooled;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i * 0.7) * 10 + i * 0.1;
+    if (i % 2 == 0) a.add(x); else b.add(x);
+    pooled.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), pooled.count());
+  EXPECT_NEAR(a.mean(), pooled.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), pooled.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), pooled.min());
+  EXPECT_DOUBLE_EQ(a.max(), pooled.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(SummarizeTest, Percentiles) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);
+  EXPECT_NEAR(s.p95, 95.05, 1e-9);
+  EXPECT_NEAR(s.p99, 99.01, 1e-9);
+}
+
+TEST(SummarizeTest, Empty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(PercentileTest, Bounds) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, -1.0), 1.0);  // clamped
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 2.0), 3.0);   // clamped
+}
+
+TEST(LinearFitTest, ExactLine) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{3, 5, 7, 9, 11};  // y = 1 + 2x
+  const LinearFit f = fit_linear(xs, ys);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(f.slope, 2.0, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-9);
+}
+
+TEST(LinearFitTest, DegenerateInput) {
+  const LinearFit f = fit_linear(std::vector<double>{1.0}, std::vector<double>{2.0});
+  EXPECT_DOUBLE_EQ(f.slope, 0.0);
+  const std::vector<double> same_x{2, 2, 2};
+  const std::vector<double> ys{1, 2, 3};
+  EXPECT_DOUBLE_EQ(fit_linear(same_x, ys).slope, 0.0);
+}
+
+}  // namespace
+}  // namespace pas::common

@@ -1,0 +1,86 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::common {
+namespace {
+
+TEST(SimTimeTest, ConstructorsAndAccessors) {
+  EXPECT_EQ(usec(1).us(), 1);
+  EXPECT_EQ(msec(1).us(), 1000);
+  EXPECT_EQ(seconds(1).us(), 1'000'000);
+  EXPECT_DOUBLE_EQ(seconds(2).sec(), 2.0);
+  EXPECT_DOUBLE_EQ(msec(1500).ms(), 1500.0);
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  EXPECT_EQ((msec(10) + msec(20)).us(), 30'000);
+  EXPECT_EQ((msec(30) - msec(10)).us(), 20'000);
+  EXPECT_EQ((msec(10) * 3).us(), 30'000);
+  EXPECT_EQ(3 * msec(10), msec(30));
+  EXPECT_EQ(seconds(1) / msec(100), 10);
+  EXPECT_EQ(msec(105) % msec(100), msec(5));
+}
+
+TEST(SimTimeTest, CompoundAssignment) {
+  SimTime t = msec(5);
+  t += msec(5);
+  EXPECT_EQ(t, msec(10));
+  t -= msec(3);
+  EXPECT_EQ(t, msec(7));
+}
+
+TEST(SimTimeTest, Ordering) {
+  EXPECT_LT(msec(1), msec(2));
+  EXPECT_LE(msec(2), msec(2));
+  EXPECT_GT(seconds(1), msec(999));
+  EXPECT_EQ(msec(1000), seconds(1));
+}
+
+TEST(SimTimeTest, DefaultIsZero) {
+  SimTime t;
+  EXPECT_EQ(t.us(), 0);
+}
+
+TEST(SimTimeTest, ToString) {
+  EXPECT_EQ(to_string(seconds(2)), "2.000s");
+  EXPECT_EQ(to_string(msec(1500)), "1.500s");
+}
+
+TEST(MhzTest, RatioIsDimensionless) {
+  EXPECT_DOUBLE_EQ(mhz(1600) / mhz(2667), 1600.0 / 2667.0);
+  EXPECT_DOUBLE_EQ(mhz(2667) / mhz(2667), 1.0);
+}
+
+TEST(MhzTest, Ordering) {
+  EXPECT_LT(mhz(1600), mhz(1867));
+  EXPECT_EQ(mhz(2400), mhz(2400));
+}
+
+TEST(WorkTest, Arithmetic) {
+  EXPECT_DOUBLE_EQ((mf_usec(100) + mf_usec(50)).mfus(), 150.0);
+  EXPECT_DOUBLE_EQ((mf_usec(100) - mf_usec(50)).mfus(), 50.0);
+  EXPECT_DOUBLE_EQ((mf_usec(100) * 0.5).mfus(), 50.0);
+  EXPECT_DOUBLE_EQ((0.25 * mf_usec(100)).mfus(), 25.0);
+}
+
+TEST(WorkTest, SecondsConversion) {
+  EXPECT_DOUBLE_EQ(mf_seconds(2.0).mfus(), 2e6);
+  EXPECT_DOUBLE_EQ(mf_seconds(2.0).mf_seconds(), 2.0);
+}
+
+TEST(WorkTest, CompoundAssignment) {
+  Work w = mf_usec(10);
+  w += mf_usec(5);
+  EXPECT_DOUBLE_EQ(w.mfus(), 15.0);
+  w -= mf_usec(10);
+  EXPECT_DOUBLE_EQ(w.mfus(), 5.0);
+}
+
+TEST(WorkTest, Ordering) {
+  EXPECT_LT(mf_usec(1), mf_usec(2));
+  EXPECT_GE(mf_usec(2), mf_usec(2));
+}
+
+}  // namespace
+}  // namespace pas::common

@@ -1,0 +1,88 @@
+// Property sweeps over the compensation math: for every (state, credit, cf)
+// combination, the compensated credit must make capacity invariant — the
+// core correctness claim of eq. 4.
+#include <gtest/gtest.h>
+
+#include "core/compensation.hpp"
+
+namespace pas::core {
+namespace {
+
+struct CompCase {
+  double freq_mhz;
+  double cf;
+  double credit;
+};
+
+class CompensationInvariant : public ::testing::TestWithParam<CompCase> {};
+
+TEST_P(CompensationInvariant, CapacityPreserved) {
+  const auto& p = GetParam();
+  const double ratio = p.freq_mhz / 2667.0;
+  const double new_credit = compensated_credit(p.credit, ratio, p.cf);
+  // Computing capacity = credit (time share) * speed (ratio * cf). The
+  // compensated credit at the new state buys the initial capacity.
+  const double capacity_at_max = p.credit * 1.0;
+  const double capacity_at_state = new_credit * ratio * p.cf;
+  EXPECT_NEAR(capacity_at_state, capacity_at_max, 1e-9);
+}
+
+TEST_P(CompensationInvariant, RoundTripThroughEq3) {
+  const auto& p = GetParam();
+  const double ratio = p.freq_mhz / 2667.0;
+  const double new_credit = compensated_credit(p.credit, ratio, p.cf);
+  // T(new_credit at state) == T(init credit at max):
+  // eq. 2 gives T_state = T_max/(ratio*cf) at equal credit; eq. 3 scales by
+  // credit ratio.
+  const double t_max_initial = 100.0;
+  const double t_state_initial = predicted_time_at_state(t_max_initial, ratio, p.cf);
+  const double t_state_compensated =
+      predicted_time_for_credit(t_state_initial, p.credit, new_credit);
+  EXPECT_NEAR(t_state_compensated, t_max_initial, 1e-6);
+}
+
+TEST_P(CompensationInvariant, CreditNeverBelowInitial) {
+  const auto& p = GetParam();
+  const double ratio = p.freq_mhz / 2667.0;
+  // cf <= 1 and ratio <= 1 imply compensation only ever raises credits.
+  EXPECT_GE(compensated_credit(p.credit, ratio, p.cf), p.credit - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CompensationInvariant,
+    ::testing::ValuesIn([] {
+      std::vector<CompCase> cases;
+      for (double f : {1600.0, 1867.0, 2133.0, 2400.0, 2667.0}) {
+        for (double cf : {0.80338, 0.86206, 0.94867, 1.0}) {
+          for (double c : {5.0, 10.0, 20.0, 50.0, 70.0, 100.0}) {
+            cases.push_back({f, cf, c});
+          }
+        }
+      }
+      return cases;
+    }()));
+
+class FreqPickProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(FreqPickProperty, ChosenStateAlwaysAbsorbsTheLoad) {
+  const double absolute = GetParam();
+  const auto ladder = cpu::FrequencyLadder::paper_default();
+  const std::size_t idx = compute_new_freq_index(ladder, absolute);
+  if (absolute < ladder.capacity_pct(ladder.max_index())) {
+    EXPECT_GT(ladder.capacity_pct(idx), absolute);
+  } else {
+    EXPECT_EQ(idx, ladder.max_index());
+  }
+  // Minimality: no lower state would do.
+  if (idx > 0) {
+    EXPECT_LE(ladder.capacity_pct(idx - 1), absolute);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FreqPickProperty,
+                         ::testing::Values(0.0, 5.0, 19.9, 20.0, 45.0, 59.9, 60.0, 61.0,
+                                           69.9, 70.0, 79.0, 80.0, 89.0, 90.0, 99.0,
+                                           100.0, 120.0));
+
+}  // namespace
+}  // namespace pas::core

@@ -1,0 +1,95 @@
+#include "core/compensation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::core {
+namespace {
+
+const cpu::FrequencyLadder kLadder = cpu::FrequencyLadder::paper_default();
+
+TEST(CompensationTest, AbsoluteLoadDefinition) {
+  // §4: V20 loaded at 33 % of time at ratio 0.6 is 20 % absolute.
+  EXPECT_NEAR(absolute_load_pct(33.33, 0.6, 1.0), 20.0, 0.01);
+  EXPECT_DOUBLE_EQ(absolute_load_pct(50.0, 1.0, 1.0), 50.0);
+  EXPECT_NEAR(absolute_load_pct(50.0, 0.8, 0.9), 36.0, 1e-9);
+}
+
+TEST(CompensationTest, LoadAtStateInvertsAbsolute) {
+  const double absolute = 20.0;
+  const double load = load_at_state_pct(absolute, 0.6, 1.0);
+  EXPECT_NEAR(load, 33.333, 0.001);
+  EXPECT_NEAR(absolute_load_pct(load, 0.6, 1.0), absolute, 1e-9);
+}
+
+TEST(CompensationTest, PaperRunningExample) {
+  // §3.2: halving the frequency doubles V20's 20 % credit to 40 %.
+  EXPECT_DOUBLE_EQ(compensated_credit(20.0, 0.5, 1.0), 40.0);
+  // §5.7: at 1600 MHz, V20 should be granted ~33 %.
+  EXPECT_NEAR(compensated_credit(20.0, 1600.0 / 2667.0, 1.0), 33.34, 0.01);
+}
+
+TEST(CompensationTest, Fig1CreditRow) {
+  // Fig. 1's top axis: initial credits 10..100 at 2133 MHz become
+  // 13/25/38/50/63/75/88/100/113/125 (paper rounds to integers).
+  const double ratio = 2133.0 / 2667.0;
+  const double expected[] = {12.5, 25.0, 37.5, 50.0, 62.6, 75.1, 87.6, 100.1, 112.6, 125.1};
+  for (int i = 0; i < 10; ++i) {
+    const double init = 10.0 * (i + 1);
+    EXPECT_NEAR(compensated_credit(init, ratio, 1.0), expected[i], 0.1) << init;
+  }
+}
+
+TEST(CompensationTest, CfBelowOneRaisesCredit) {
+  // A machine where the low state underdelivers (cf = 0.8) needs extra
+  // credit beyond the pure frequency ratio.
+  EXPECT_GT(compensated_credit(20.0, 0.6, 0.8), compensated_credit(20.0, 0.6, 1.0));
+  EXPECT_NEAR(compensated_credit(20.0, 0.6, 0.8), 20.0 / 0.48, 1e-9);
+}
+
+TEST(CompensationTest, MaxFrequencyIsIdentity) {
+  for (double c : {10.0, 20.0, 70.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(compensated_credit(c, kLadder, kLadder.max_index()), c);
+  }
+}
+
+TEST(CompensationTest, PredictedTimeAtState) {
+  // Eq. 2: T_i = T_max / (ratio * cf).
+  EXPECT_DOUBLE_EQ(predicted_time_at_state(100.0, 0.5, 1.0), 200.0);
+  EXPECT_NEAR(predicted_time_at_state(100.0, 0.8, 0.9), 100.0 / 0.72, 1e-9);
+}
+
+TEST(CompensationTest, PredictedTimeForCredit) {
+  // Eq. 3: doubling credit halves time.
+  EXPECT_DOUBLE_EQ(predicted_time_for_credit(100.0, 10.0, 20.0), 50.0);
+  EXPECT_DOUBLE_EQ(predicted_time_for_credit(50.0, 20.0, 10.0), 100.0);
+  EXPECT_THROW((void)predicted_time_for_credit(1.0, 0.0, 10.0), std::invalid_argument);
+}
+
+TEST(CompensationTest, ComputeNewFreqListing11) {
+  // Listing 1.1 on the paper ladder (capacities 60/70/80/90/100):
+  EXPECT_EQ(compute_new_freq_index(kLadder, 0.0), 0u);
+  EXPECT_EQ(compute_new_freq_index(kLadder, 20.0), 0u);
+  EXPECT_EQ(compute_new_freq_index(kLadder, 59.9), 0u);
+  EXPECT_EQ(compute_new_freq_index(kLadder, 60.0), 1u);  // strict >
+  EXPECT_EQ(compute_new_freq_index(kLadder, 65.0), 1u);
+  EXPECT_EQ(compute_new_freq_index(kLadder, 75.0), 2u);
+  EXPECT_EQ(compute_new_freq_index(kLadder, 85.0), 3u);
+  EXPECT_EQ(compute_new_freq_index(kLadder, 95.0), 4u);
+  EXPECT_EQ(compute_new_freq_index(kLadder, 150.0), 4u);  // infeasible -> max
+}
+
+TEST(CompensationTest, ComputeNewFreqHonorsCf) {
+  // With cf = 0.8 on the low state its capacity is 48, not 60.
+  const cpu::FrequencyLadder ladder{
+      {cpu::PState{common::mhz(1600), 0.8}, cpu::PState{common::mhz(2667), 1.0}}};
+  EXPECT_EQ(compute_new_freq_index(ladder, 47.0), 0u);
+  EXPECT_EQ(compute_new_freq_index(ladder, 50.0), 1u);
+}
+
+TEST(CompensationTest, RejectsNonPositiveRatioOrCf) {
+  EXPECT_THROW((void)compensated_credit(20.0, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)compensated_credit(20.0, 0.5, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pas::core

@@ -1,0 +1,134 @@
+#include "core/pas_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hypervisor/host.hpp"
+#include "sched/credit_scheduler.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/web_app.hpp"
+
+namespace pas::core {
+namespace {
+
+using common::seconds;
+using common::SimTime;
+
+// V20-style thrashing VM alone on a PAS host: the controller must settle at
+// the lowest frequency with a compensated ~33 % cap, and V20's absolute
+// capacity must equal its 20 % SLA.
+TEST(PasControllerTest, CompensatesThrashingVmAtLowFrequency) {
+  hv::HostConfig hc;
+  hc.trace_stride = SimTime{};
+  hv::Host host{hc, std::make_unique<sched::CreditScheduler>()};
+  host.set_controller(std::make_unique<PasController>());
+  hv::VmConfig v;
+  v.name = "V20";
+  v.credit = 20.0;
+  const auto id = host.add_vm(v, std::make_unique<wl::BusyLoop>());
+  host.run_until(seconds(120));
+
+  EXPECT_EQ(host.cpufreq().current_index(), 0u);  // 1600 MHz
+  EXPECT_NEAR(host.scheduler().cap(id), 20.0 / (1600.0 / 2667.0), 0.1);
+  // Absolute capacity over the (steady) second minute.
+  const double work0 = host.vm(id).total_work.mf_seconds();
+  host.run_until(seconds(240));
+  const double work = host.vm(id).total_work.mf_seconds() - work0;
+  EXPECT_NEAR(work / 120.0, 0.20, 0.01);
+}
+
+TEST(PasControllerTest, HighDemandRestoresMaxFrequencyAndBaseCredits) {
+  hv::HostConfig hc;
+  hc.trace_stride = SimTime{};
+  hv::Host host{hc, std::make_unique<sched::CreditScheduler>()};
+  host.set_controller(std::make_unique<PasController>());
+  hv::VmConfig a;
+  a.credit = 20.0;
+  host.add_vm(a, std::make_unique<wl::BusyLoop>());
+  hv::VmConfig b;
+  b.credit = 70.0;
+  host.add_vm(b, std::make_unique<wl::BusyLoop>());
+  host.run_until(seconds(120));
+
+  EXPECT_EQ(host.cpufreq().current_index(), host.cpu().ladder().max_index());
+  EXPECT_NEAR(host.scheduler().cap(0), 20.0, 0.1);
+  EXPECT_NEAR(host.scheduler().cap(1), 70.0, 0.1);
+}
+
+TEST(PasControllerTest, IdleHostParksAtMinimumWithRaisedCaps) {
+  hv::HostConfig hc;
+  hc.trace_stride = SimTime{};
+  hv::Host host{hc, std::make_unique<sched::CreditScheduler>()};
+  host.set_controller(std::make_unique<PasController>());
+  hv::VmConfig v;
+  v.credit = 20.0;
+  const auto id = host.add_vm(v, std::make_unique<wl::IdleGuest>());
+  host.run_until(seconds(30));
+  EXPECT_EQ(host.cpufreq().current_index(), 0u);
+  // The cap is raised for the lazy VM too — "for lazy VM, this new limit is
+  // meaningless as it will not be reached" (§4.2).
+  EXPECT_GT(host.scheduler().cap(id), 20.0);
+}
+
+TEST(PasControllerTest, UncappedVmLeftAlone) {
+  hv::HostConfig hc;
+  hc.trace_stride = SimTime{};
+  hv::Host host{hc, std::make_unique<sched::CreditScheduler>()};
+  host.set_controller(std::make_unique<PasController>());
+  hv::VmConfig v;
+  v.credit = 0.0;  // null credit
+  const auto id = host.add_vm(v, std::make_unique<wl::BusyLoop>());
+  host.run_until(seconds(30));
+  EXPECT_DOUBLE_EQ(host.scheduler().cap(id), 0.0);
+}
+
+TEST(PasControllerTest, ReactsWithinSeconds) {
+  // Step load: idle -> thrash at t=60 s. PAS must raise the frequency and
+  // rescale credits quickly (its tick is the 30 ms accounting period, but
+  // the load signal is smoothed over 3 one-second windows).
+  hv::HostConfig hc;
+  hc.trace_stride = seconds(1);
+  hv::Host host{hc, std::make_unique<sched::CreditScheduler>()};
+  host.set_controller(std::make_unique<PasController>());
+  hv::VmConfig a;
+  a.credit = 90.0;
+  host.add_vm(a, std::make_unique<wl::GatedBusyLoop>(
+                     wl::LoadProfile::pulse(seconds(60), seconds(120), 1.0)));
+  host.run_until(seconds(59));
+  EXPECT_EQ(host.cpufreq().current_index(), 0u);
+  host.run_until(seconds(70));
+  EXPECT_EQ(host.cpufreq().current_index(), host.cpu().ladder().max_index());
+}
+
+TEST(PasControllerTest, TracksCfInLadder) {
+  // On a machine with cf = 0.8 at the low state, compensation must use it.
+  hv::HostConfig hc;
+  hc.trace_stride = SimTime{};
+  hc.ladder = cpu::FrequencyLadder{
+      {cpu::PState{common::mhz(1600), 0.8}, cpu::PState{common::mhz(2667), 1.0}}};
+  hv::Host host{hc, std::make_unique<sched::CreditScheduler>()};
+  host.set_controller(std::make_unique<PasController>());
+  hv::VmConfig v;
+  v.credit = 20.0;
+  const auto id = host.add_vm(v, std::make_unique<wl::BusyLoop>());
+  host.run_until(seconds(120));
+  ASSERT_EQ(host.cpufreq().current_index(), 0u);
+  EXPECT_NEAR(host.scheduler().cap(id), 20.0 / (1600.0 / 2667.0 * 0.8), 0.2);
+}
+
+TEST(PasControllerTest, TickCountAdvances) {
+  hv::HostConfig hc;
+  hc.trace_stride = SimTime{};
+  hv::Host host{hc, std::make_unique<sched::CreditScheduler>()};
+  auto ctrl = std::make_unique<PasController>();
+  const PasController* pas = ctrl.get();
+  host.set_controller(std::move(ctrl));
+  hv::VmConfig v;
+  v.credit = 50.0;
+  host.add_vm(v, std::make_unique<wl::BusyLoop>());
+  host.run_until(seconds(3));
+  // 30 ms period -> 100 ticks over 3 s.
+  EXPECT_NEAR(static_cast<double>(pas->tick_count()), 100.0, 2.0);
+}
+
+}  // namespace
+}  // namespace pas::core

@@ -1,0 +1,84 @@
+#include "core/user_level_managers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pas_controller.hpp"
+#include "governor/governors.hpp"
+#include "hypervisor/host.hpp"
+#include "sched/credit_scheduler.hpp"
+#include "workload/synthetic.hpp"
+
+namespace pas::core {
+namespace {
+
+using common::seconds;
+using common::SimTime;
+
+TEST(UserLevelCreditManagerTest, CompensatesGovernorsFrequencyChoice) {
+  // Design 1: stable-ondemand owns DVFS; the daemon fixes credits.
+  hv::HostConfig hc;
+  hc.trace_stride = SimTime{};
+  hv::Host host{hc, std::make_unique<sched::CreditScheduler>()};
+  host.set_governor(std::make_unique<gov::StableOndemandGovernor>());
+  host.set_controller(std::make_unique<UserLevelCreditManager>());
+  hv::VmConfig v;
+  v.credit = 20.0;
+  const auto id = host.add_vm(v, std::make_unique<wl::BusyLoop>());
+  host.run_until(seconds(120));
+
+  // The governor settled low (20 % load), and the daemon compensated.
+  ASSERT_EQ(host.cpufreq().current_index(), 0u);
+  EXPECT_NEAR(host.scheduler().cap(id), 20.0 / (1600.0 / 2667.0), 0.5);
+}
+
+TEST(UserLevelDvfsCreditManagerTest, OwnsBothDecisions) {
+  // Design 2: no governor at all; the daemon sets frequency and credits.
+  hv::HostConfig hc;
+  hc.trace_stride = SimTime{};
+  hv::Host host{hc, std::make_unique<sched::CreditScheduler>()};
+  host.set_controller(std::make_unique<UserLevelDvfsCreditManager>());
+  hv::VmConfig v;
+  v.credit = 20.0;
+  const auto id = host.add_vm(v, std::make_unique<wl::BusyLoop>());
+  host.run_until(seconds(120));
+
+  EXPECT_EQ(host.cpufreq().current_index(), 0u);
+  EXPECT_NEAR(host.scheduler().cap(id), 20.0 / (1600.0 / 2667.0), 0.5);
+}
+
+TEST(UserLevelManagersTest, SlowerReactionThanInHypervisorPas) {
+  // After a step from idle to thrash, measure how long until the cap is
+  // rescaled to the high-frequency value. PAS reacts within a tick of the
+  // smoothed signal; the 2 s daemons lag further behind.
+  auto time_to_recover = [](std::unique_ptr<hv::Controller> ctrl) {
+    hv::HostConfig hc;
+    hc.trace_stride = SimTime{};
+    hv::Host host{hc, std::make_unique<sched::CreditScheduler>()};
+    host.set_controller(std::move(ctrl));
+    hv::VmConfig a;
+    a.credit = 90.0;
+    host.add_vm(a, std::make_unique<wl::GatedBusyLoop>(
+                       wl::LoadProfile::pulse(seconds(60), seconds(300), 1.0)));
+    host.run_until(seconds(60));
+    // Step begins; poll in 100 ms slices until the cap returns to ~90.
+    while (host.now() < seconds(300)) {
+      host.run_until(host.now() + common::msec(100));
+      if (host.scheduler().cap(0) < 95.0) break;
+    }
+    return (host.now() - seconds(60)).sec();
+  };
+
+  const double t_pas = time_to_recover(std::make_unique<PasController>());
+  const double t_daemon = time_to_recover(std::make_unique<UserLevelDvfsCreditManager>());
+  EXPECT_LT(t_pas, t_daemon + 1e-9);
+  EXPECT_LT(t_pas, 10.0);
+}
+
+TEST(UserLevelManagersTest, Names) {
+  EXPECT_EQ(UserLevelCreditManager{}.name(), "userlevel-credit");
+  EXPECT_EQ(UserLevelDvfsCreditManager{}.name(), "userlevel-dvfs-credit");
+  EXPECT_EQ(UserLevelCreditManager{}.period(), seconds(2));
+}
+
+}  // namespace
+}  // namespace pas::core

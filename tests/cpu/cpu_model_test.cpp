@@ -1,0 +1,68 @@
+#include "cpu/cpu_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::cpu {
+namespace {
+
+using common::msec;
+using common::usec;
+
+TEST(CpuModelTest, StartsAtMaxState) {
+  CpuModel cpu{FrequencyLadder::paper_default()};
+  EXPECT_EQ(cpu.current_index(), 4u);
+  EXPECT_EQ(cpu.current_freq(), common::mhz(2667));
+  EXPECT_DOUBLE_EQ(cpu.speed(), 1.0);
+}
+
+TEST(CpuModelTest, SpeedFollowsRatioAndCf) {
+  CpuModel cpu{FrequencyLadder{{PState{common::mhz(1500), 0.9}, PState{common::mhz(3000), 1.0}}}};
+  cpu.set_index(0);
+  EXPECT_NEAR(cpu.speed(), 0.5 * 0.9, 1e-12);
+  EXPECT_NEAR(cpu.current_ratio(), 0.5, 1e-12);
+  EXPECT_NEAR(cpu.current_cf(), 0.9, 1e-12);
+}
+
+TEST(CpuModelTest, WorkForScalesWithSpeed) {
+  CpuModel cpu{FrequencyLadder::uniform({1500, 3000})};
+  EXPECT_DOUBLE_EQ(cpu.work_for(msec(10)).mfus(), 10'000.0);
+  cpu.set_index(0);
+  EXPECT_DOUBLE_EQ(cpu.work_for(msec(10)).mfus(), 5'000.0);
+}
+
+TEST(CpuModelTest, TimeForInvertsWorkFor) {
+  CpuModel cpu{FrequencyLadder::uniform({1500, 3000})};
+  cpu.set_index(0);
+  const common::Work w = cpu.work_for(msec(10));
+  EXPECT_EQ(cpu.time_for(w), msec(10));
+}
+
+TEST(CpuModelTest, TimeForRoundsUp) {
+  CpuModel cpu{FrequencyLadder::uniform({3000})};
+  // 1.5 us of work at speed 1 -> 2 us (never under-charge busy time).
+  EXPECT_EQ(cpu.time_for(common::mf_usec(1.5)), usec(2));
+  EXPECT_EQ(cpu.time_for(common::Work{}), usec(0));
+}
+
+TEST(CpuModelTest, SpeedOverrideWins) {
+  CpuModel cpu{FrequencyLadder::uniform({1500, 3000})};
+  cpu.set_speed_override([](std::size_t i) { return i == 1 ? 1.0 : 0.4; });
+  cpu.set_index(0);
+  EXPECT_DOUBLE_EQ(cpu.speed(), 0.4);
+  EXPECT_DOUBLE_EQ(cpu.work_for(msec(10)).mfus(), 4000.0);
+  cpu.set_index(1);
+  EXPECT_DOUBLE_EQ(cpu.speed(), 1.0);
+}
+
+TEST(CpuModelTest, RoundTripAcrossAllPaperStates) {
+  CpuModel cpu{FrequencyLadder::paper_default()};
+  for (std::size_t i = 0; i < cpu.ladder().size(); ++i) {
+    cpu.set_index(i);
+    const common::Work w = cpu.work_for(common::seconds(1));
+    const common::SimTime t = cpu.time_for(w);
+    EXPECT_NEAR(static_cast<double>(t.us()), 1e6, 2.0) << "state " << i;
+  }
+}
+
+}  // namespace
+}  // namespace pas::cpu

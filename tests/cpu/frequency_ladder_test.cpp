@@ -1,0 +1,66 @@
+#include "cpu/frequency_ladder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::cpu {
+namespace {
+
+TEST(FrequencyLadderTest, PaperDefault) {
+  const auto ladder = FrequencyLadder::paper_default();
+  ASSERT_EQ(ladder.size(), 5u);
+  EXPECT_EQ(ladder.min().freq, common::mhz(1600));
+  EXPECT_EQ(ladder.max().freq, common::mhz(2667));
+  EXPECT_EQ(ladder.max_index(), 4u);
+  for (std::size_t i = 0; i < ladder.size(); ++i) EXPECT_DOUBLE_EQ(ladder.at(i).cf, 1.0);
+}
+
+TEST(FrequencyLadderTest, Ratio) {
+  const auto ladder = FrequencyLadder::paper_default();
+  EXPECT_NEAR(ladder.ratio(0), 1600.0 / 2667.0, 1e-12);
+  EXPECT_DOUBLE_EQ(ladder.ratio(4), 1.0);
+}
+
+TEST(FrequencyLadderTest, CapacityPct) {
+  const FrequencyLadder ladder{{PState{common::mhz(1000), 0.9}, PState{common::mhz(2000), 1.0}}};
+  EXPECT_NEAR(ladder.capacity_pct(0), 0.5 * 100.0 * 0.9, 1e-12);
+  EXPECT_DOUBLE_EQ(ladder.capacity_pct(1), 100.0);
+}
+
+TEST(FrequencyLadderTest, IndexOf) {
+  const auto ladder = FrequencyLadder::paper_default();
+  EXPECT_EQ(ladder.index_of(common::mhz(2133)), 2u);
+  EXPECT_THROW((void)ladder.index_of(common::mhz(1)), std::invalid_argument);
+}
+
+TEST(FrequencyLadderTest, RejectsEmpty) {
+  EXPECT_THROW(FrequencyLadder{std::vector<PState>{}}, std::invalid_argument);
+}
+
+TEST(FrequencyLadderTest, RejectsUnordered) {
+  EXPECT_THROW(FrequencyLadder({PState{common::mhz(2000), 1.0}, PState{common::mhz(1000), 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(FrequencyLadderTest, RejectsDuplicates) {
+  EXPECT_THROW(FrequencyLadder({PState{common::mhz(1000), 1.0}, PState{common::mhz(1000), 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(FrequencyLadderTest, RejectsBadCf) {
+  EXPECT_THROW(FrequencyLadder({PState{common::mhz(1000), 0.0}}), std::invalid_argument);
+  EXPECT_THROW(FrequencyLadder({PState{common::mhz(1000), -1.0}}), std::invalid_argument);
+}
+
+TEST(FrequencyLadderTest, RejectsNonPositiveFrequency) {
+  EXPECT_THROW(FrequencyLadder({PState{common::mhz(0), 1.0}}), std::invalid_argument);
+}
+
+TEST(FrequencyLadderTest, SingleState) {
+  const FrequencyLadder ladder{{PState{common::mhz(2400), 1.0}}};
+  EXPECT_EQ(ladder.size(), 1u);
+  EXPECT_DOUBLE_EQ(ladder.ratio(0), 1.0);
+  EXPECT_EQ(&ladder.min(), &ladder.max());
+}
+
+}  // namespace
+}  // namespace pas::cpu

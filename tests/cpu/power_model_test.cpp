@@ -1,0 +1,51 @@
+#include "cpu/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::cpu {
+namespace {
+
+TEST(PowerModelTest, IdlePowerAtZeroUtil) {
+  const PowerModel pm{40.0, 100.0, 3.0};
+  EXPECT_DOUBLE_EQ(pm.power_watts(1.0, 0.0), 40.0);
+  EXPECT_DOUBLE_EQ(pm.power_watts(0.5, 0.0), 40.0);
+}
+
+TEST(PowerModelTest, FullPowerAtMaxFreqFullUtil) {
+  const PowerModel pm{40.0, 100.0, 3.0};
+  EXPECT_DOUBLE_EQ(pm.power_watts(1.0, 1.0), 100.0);
+}
+
+TEST(PowerModelTest, CubicFrequencyScaling) {
+  const PowerModel pm{40.0, 100.0, 3.0};
+  // At half frequency, dynamic power is (1/2)^3 = 1/8 of 60 W.
+  EXPECT_NEAR(pm.power_watts(0.5, 1.0), 40.0 + 60.0 / 8.0, 1e-9);
+}
+
+TEST(PowerModelTest, LinearUtilScaling) {
+  const PowerModel pm{40.0, 100.0, 3.0};
+  EXPECT_NEAR(pm.power_watts(1.0, 0.5), 70.0, 1e-9);
+}
+
+TEST(PowerModelTest, EnergyIntegratesPower) {
+  const PowerModel pm{40.0, 100.0, 3.0};
+  EXPECT_NEAR(pm.energy_joules(common::seconds(10), 1.0, 1.0), 1000.0, 1e-9);
+  EXPECT_NEAR(pm.energy_joules(common::msec(500), 1.0, 0.0), 20.0, 1e-9);
+}
+
+TEST(PowerModelTest, LowerFrequencySavesEnergyOnFixedUtil) {
+  const PowerModel pm = PowerModel::desktop_2008();
+  const double high = pm.power_watts(1.0, 0.5);
+  const double low = pm.power_watts(0.6, 0.5);
+  EXPECT_LT(low, high);
+}
+
+TEST(PowerModelTest, Desktop2008Defaults) {
+  const PowerModel pm = PowerModel::desktop_2008();
+  EXPECT_DOUBLE_EQ(pm.idle_watts(), 45.0);
+  EXPECT_DOUBLE_EQ(pm.busy_max_watts(), 105.0);
+  EXPECT_DOUBLE_EQ(pm.alpha(), 3.0);
+}
+
+}  // namespace
+}  // namespace pas::cpu

@@ -1,0 +1,102 @@
+// End-to-end governor behaviour on a live host: the stock ondemand governor
+// oscillates on a bursty credit-capped workload (Fig. 3), the paper's
+// stable governor does not (Fig. 4).
+#include <gtest/gtest.h>
+
+#include "governor/governors.hpp"
+#include "hypervisor/host.hpp"
+#include "sched/credit_scheduler.hpp"
+#include "workload/web_app.hpp"
+
+namespace pas::gov {
+namespace {
+
+using common::seconds;
+using common::SimTime;
+
+std::uint64_t run_and_count_transitions(std::unique_ptr<Governor> governor,
+                                        double credit, double demand_pct) {
+  hv::HostConfig hc;
+  hc.trace_stride = SimTime{};
+  hv::Host host{hc, std::make_unique<sched::CreditScheduler>()};
+  host.set_governor(std::move(governor));
+  hv::VmConfig v;
+  v.credit = credit;
+  wl::WebAppConfig wc;
+  wc.seed = 21;
+  const double rate = wl::WebApp::rate_for_demand(demand_pct, wc.request_cost);
+  host.add_vm(v, std::make_unique<wl::WebApp>(wl::LoadProfile::constant(rate), wc));
+  host.run_until(seconds(600));
+  return host.cpufreq().transition_count();
+}
+
+TEST(GovernorStabilityTest, StockOndemandOscillatesNearSaturation) {
+  // Fig. 3's phase 2 regime: demand near the host capacity. The queue
+  // drains and refills stochastically; with no hysteresis and a 20 ms
+  // sample, every dip scales down and every backlog jumps back to max.
+  const auto transitions =
+      run_and_count_transitions(std::make_unique<OndemandGovernor>(), 90.0, 85.0);
+  EXPECT_GT(transitions, 100u);
+}
+
+TEST(GovernorStabilityTest, StableGovernorIsCalmNearSaturation) {
+  const auto transitions =
+      run_and_count_transitions(std::make_unique<StableOndemandGovernor>(), 90.0, 85.0);
+  // Fig. 4: a handful of transitions over the whole run.
+  EXPECT_LT(transitions, 20u);
+}
+
+TEST(GovernorStabilityTest, StableGovernorIsCalmOnLightLoad) {
+  const auto transitions =
+      run_and_count_transitions(std::make_unique<StableOndemandGovernor>(), 20.0, 20.0);
+  EXPECT_LT(transitions, 20u);
+}
+
+TEST(GovernorStabilityTest, StableStillSavesEnergy) {
+  // The stable governor must actually reach a low frequency on a light
+  // load, not buy stability by pinning max.
+  hv::HostConfig hc;
+  hc.trace_stride = seconds(10);
+  hv::Host host{hc, std::make_unique<sched::CreditScheduler>()};
+  host.set_governor(std::make_unique<StableOndemandGovernor>());
+  hv::VmConfig v;
+  v.credit = 20.0;
+  wl::WebAppConfig wc;
+  wc.seed = 22;
+  host.add_vm(v, std::make_unique<wl::WebApp>(
+                     wl::LoadProfile::constant(wl::WebApp::rate_for_demand(10.0, wc.request_cost)),
+                     wc));
+  host.run_until(seconds(300));
+  EXPECT_EQ(host.cpufreq().current_index(), 0u);
+}
+
+TEST(GovernorStabilityTest, PerformanceGovernorNeverMoves) {
+  const auto transitions =
+      run_and_count_transitions(std::make_unique<PerformanceGovernor>(), 20.0, 20.0);
+  EXPECT_EQ(transitions, 0u);
+}
+
+TEST(GovernorStabilityTest, PowersaveDropsOnceAndStays) {
+  const auto transitions =
+      run_and_count_transitions(std::make_unique<PowersaveGovernor>(), 20.0, 20.0);
+  EXPECT_EQ(transitions, 1u);
+}
+
+TEST(GovernorStabilityTest, HighLoadKeepsStableGovernorAtMax) {
+  hv::HostConfig hc;
+  hc.trace_stride = SimTime{};
+  hv::Host host{hc, std::make_unique<sched::CreditScheduler>()};
+  host.set_governor(std::make_unique<StableOndemandGovernor>());
+  hv::VmConfig v;
+  v.credit = 100.0;
+  wl::WebAppConfig wc;
+  wc.seed = 23;
+  host.add_vm(v, std::make_unique<wl::WebApp>(
+                     wl::LoadProfile::constant(wl::WebApp::rate_for_demand(95.0, wc.request_cost)),
+                     wc));
+  host.run_until(seconds(120));
+  EXPECT_EQ(host.cpufreq().current_index(), host.cpu().ladder().max_index());
+}
+
+}  // namespace
+}  // namespace pas::gov

@@ -1,0 +1,168 @@
+#include "governor/governors.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::gov {
+namespace {
+
+const cpu::FrequencyLadder kLadder = cpu::FrequencyLadder::paper_default();
+
+Sample make_sample(double util, std::size_t index, double avg = -1.0) {
+  Sample s;
+  s.util = util;
+  s.avg_util = avg < 0 ? util : avg;
+  s.current_index = index;
+  return s;
+}
+
+TEST(HelperTest, AbsoluteDemand) {
+  EXPECT_NEAR(absolute_demand(0.5, kLadder, 4), 0.5, 1e-12);
+  EXPECT_NEAR(absolute_demand(0.5, kLadder, 0), 0.5 * 1600 / 2667, 1e-12);
+}
+
+TEST(HelperTest, LowestFittingState) {
+  // demand 0.2 fits the lowest state (0.6 capacity * 0.8 fill = 0.48).
+  EXPECT_EQ(lowest_fitting_state(0.2, 0.8, kLadder), 0u);
+  // demand 0.9 fits nothing below max.
+  EXPECT_EQ(lowest_fitting_state(0.9, 0.8, kLadder), 4u);
+  // demand 0.5: 1600*0.8/2667 = 0.48 < 0.5; 1867*0.8/2667 = 0.56 >= 0.5.
+  EXPECT_EQ(lowest_fitting_state(0.5, 0.8, kLadder), 1u);
+  // Infeasible demand falls back to max.
+  EXPECT_EQ(lowest_fitting_state(5.0, 0.8, kLadder), kLadder.max_index());
+}
+
+TEST(PerformanceGovernorTest, AlwaysMax) {
+  PerformanceGovernor g;
+  EXPECT_EQ(g.decide(make_sample(0.0, 0), kLadder), 4u);
+  EXPECT_EQ(g.decide(make_sample(1.0, 2), kLadder), 4u);
+  EXPECT_EQ(g.name(), "performance");
+}
+
+TEST(PowersaveGovernorTest, AlwaysMin) {
+  PowersaveGovernor g;
+  EXPECT_EQ(g.decide(make_sample(1.0, 4), kLadder), 0u);
+}
+
+TEST(UserspaceGovernorTest, FollowsTarget) {
+  UserspaceGovernor g{2};
+  EXPECT_EQ(g.decide(make_sample(0.5, 0), kLadder), 2u);
+  g.set_target(4);
+  EXPECT_EQ(g.decide(make_sample(0.5, 0), kLadder), 4u);
+  g.set_target(99);  // clamped
+  EXPECT_EQ(g.decide(make_sample(0.5, 0), kLadder), 4u);
+}
+
+TEST(OndemandGovernorTest, JumpsToMaxAboveThreshold) {
+  OndemandGovernor g;
+  EXPECT_EQ(g.decide(make_sample(0.85, 0), kLadder), 4u);
+  EXPECT_EQ(g.decide(make_sample(1.0, 2), kLadder), 4u);
+}
+
+TEST(OndemandGovernorTest, ScalesStraightDown) {
+  OndemandGovernor g;
+  // util 0.2 at max -> demand 0.2 -> lowest state fits.
+  EXPECT_EQ(g.decide(make_sample(0.2, 4), kLadder), 0u);
+}
+
+TEST(OndemandGovernorTest, NoMemoryBetweenSamples) {
+  OndemandGovernor g;
+  EXPECT_EQ(g.decide(make_sample(1.0, 0), kLadder), 4u);
+  EXPECT_EQ(g.decide(make_sample(0.1, 4), kLadder), 0u);
+  EXPECT_EQ(g.decide(make_sample(1.0, 0), kLadder), 4u);  // oscillates freely
+}
+
+TEST(OndemandGovernorTest, DemandInterpretedAtCurrentFrequency) {
+  OndemandGovernor g;
+  // util 0.7 at the lowest state is only 0.42 absolute -> stays low-ish:
+  // fitting state for 0.42 with fill 0.8 is index 0 (0.48 >= 0.42).
+  EXPECT_EQ(g.decide(make_sample(0.7, 0), kLadder), 0u);
+}
+
+TEST(OndemandGovernorTest, RejectsBadConfig) {
+  OndemandConfig bad;
+  bad.up_threshold = 1.5;
+  EXPECT_THROW(OndemandGovernor{bad}, std::invalid_argument);
+  bad = {};
+  bad.sampling_period = common::SimTime{};
+  EXPECT_THROW(OndemandGovernor{bad}, std::invalid_argument);
+}
+
+TEST(StableOndemandGovernorTest, UsesAveragedLoad) {
+  StableOndemandGovernor g;
+  // Instantaneous spike but calm average: stays put.
+  EXPECT_EQ(g.decide(make_sample(1.0, 0, /*avg=*/0.2), kLadder), 0u);
+  // Calm instant but high average: scales up to the minimal fitting state
+  // (avg 1.0 at ratio 0.6 = 0.6 absolute; 2133's 0.8*0.8 = 0.64 fits).
+  EXPECT_EQ(g.decide(make_sample(0.0, 0, /*avg=*/1.0), kLadder), 2u);
+}
+
+TEST(StableOndemandGovernorTest, DownscalingNeedsPatience) {
+  StableOndemandConfig cfg;
+  cfg.down_patience = 3;
+  StableOndemandGovernor g{cfg};
+  const Sample low = make_sample(0.05, 4, 0.05);
+  EXPECT_EQ(g.decide(low, kLadder), 4u);  // streak 1
+  EXPECT_EQ(g.decide(low, kLadder), 4u);  // streak 2
+  EXPECT_EQ(g.decide(low, kLadder), 3u);  // streak 3: one step down
+  EXPECT_EQ(g.decide(make_sample(0.05, 3, 0.05), kLadder), 3u);
+}
+
+TEST(StableOndemandGovernorTest, UpscalingIsImmediate) {
+  StableOndemandGovernor g;
+  // avg 0.9 at ratio 0.6 = 0.54 absolute -> 1867 (0.56 fill) suffices, and
+  // the step happens on the very first sample.
+  EXPECT_EQ(g.decide(make_sample(0.9, 0, 0.9), kLadder), 1u);
+  // A saturated average from a high state goes straight to max.
+  EXPECT_EQ(g.decide(make_sample(1.0, 3, 1.0), kLadder), 4u);
+}
+
+TEST(StableOndemandGovernorTest, InterruptedStreakResets) {
+  StableOndemandConfig cfg;
+  cfg.down_patience = 2;
+  StableOndemandGovernor g{cfg};
+  const Sample low = make_sample(0.05, 4, 0.05);
+  const Sample mid = make_sample(0.75, 4, 0.75);
+  EXPECT_EQ(g.decide(low, kLadder), 4u);
+  EXPECT_EQ(g.decide(mid, kLadder), 4u);  // resets streak
+  EXPECT_EQ(g.decide(low, kLadder), 4u);
+  EXPECT_EQ(g.decide(low, kLadder), 3u);
+}
+
+TEST(StableOndemandGovernorTest, AtMinStays) {
+  StableOndemandGovernor g;
+  const Sample low = make_sample(0.01, 0, 0.01);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(g.decide(low, kLadder), 0u);
+}
+
+TEST(ConservativeGovernorTest, StepsOneLevelAtATime) {
+  ConservativeGovernor g;
+  EXPECT_EQ(g.decide(make_sample(0.9, 1), kLadder), 2u);
+  EXPECT_EQ(g.decide(make_sample(0.1, 2), kLadder), 1u);
+  EXPECT_EQ(g.decide(make_sample(0.5, 2), kLadder), 2u);  // in band
+}
+
+TEST(ConservativeGovernorTest, SaturatesAtEnds) {
+  ConservativeGovernor g;
+  EXPECT_EQ(g.decide(make_sample(0.9, 4), kLadder), 4u);
+  EXPECT_EQ(g.decide(make_sample(0.1, 0), kLadder), 0u);
+}
+
+TEST(ConservativeGovernorTest, RejectsInvertedThresholds) {
+  ConservativeConfig bad;
+  bad.up_threshold = 0.2;
+  bad.down_threshold = 0.5;
+  EXPECT_THROW(ConservativeGovernor{bad}, std::invalid_argument);
+}
+
+TEST(MakeGovernorTest, AllNames) {
+  for (const char* name : {"performance", "powersave", "userspace", "ondemand",
+                           "stable-ondemand", "conservative"}) {
+    const auto g = make_governor(name);
+    ASSERT_NE(g, nullptr);
+    EXPECT_EQ(g->name(), name);
+  }
+  EXPECT_THROW((void)make_governor("bogus"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pas::gov

@@ -1,0 +1,110 @@
+// Conservation properties of the host loop: busy + idle = wall time, work
+// done = busy * speed, across schedulers, frequencies and workload mixes.
+// These invariants are what make every load figure in the paper meaningful.
+#include <gtest/gtest.h>
+
+#include "hypervisor/host.hpp"
+#include "sched/credit_scheduler.hpp"
+#include "sched/scheduler_factory.hpp"
+#include "sched/sedf_scheduler.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/web_app.hpp"
+
+namespace pas::hv {
+namespace {
+
+using common::seconds;
+using common::SimTime;
+
+struct ConservationCase {
+  sched::SchedulerKind scheduler;
+  std::size_t freq_index;
+  double credit_a;
+  double credit_b;
+};
+
+class ConservationTest : public ::testing::TestWithParam<ConservationCase> {};
+
+TEST_P(ConservationTest, BusyPlusIdleEqualsWallTime) {
+  const auto& p = GetParam();
+  HostConfig hc;
+  hc.trace_stride = SimTime{};
+  Host host{hc, sched::make_scheduler(p.scheduler)};
+
+  VmConfig a;
+  a.name = "a";
+  a.credit = p.credit_a;
+  host.add_vm(a, std::make_unique<wl::BusyLoop>());
+
+  VmConfig b;
+  b.name = "b";
+  b.credit = p.credit_b;
+  wl::WebAppConfig wc;
+  wc.seed = 3;
+  host.add_vm(b, std::make_unique<wl::WebApp>(
+                     wl::LoadProfile::constant(wl::WebApp::rate_for_demand(
+                         p.credit_b * 0.5, wc.request_cost)),
+                     wc));
+
+  host.cpufreq().request(p.freq_index);
+  const SimTime total = seconds(50);
+  host.run_until(total);
+
+  const SimTime busy = host.vm(0).total_busy + host.vm(1).total_busy;
+  EXPECT_EQ((busy + host.idle_time()).us(), total.us());
+
+  // Work performed never exceeds busy * speed at the *fastest* state used.
+  const double speed = host.cpu().ladder().ratio(p.freq_index);
+  const double work = host.vm(0).total_work.mf_seconds() + host.vm(1).total_work.mf_seconds();
+  EXPECT_LE(work, busy.sec() * speed + 1e-6);
+  // And the busy hog should have converted all its busy time into work.
+  EXPECT_NEAR(host.vm(0).total_work.mf_seconds(), host.vm(0).total_busy.sec() * speed,
+              0.01 * host.vm(0).total_busy.sec() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConservationTest,
+    ::testing::Values(
+        ConservationCase{sched::SchedulerKind::kCredit, 4, 20.0, 70.0},
+        ConservationCase{sched::SchedulerKind::kCredit, 0, 20.0, 70.0},
+        ConservationCase{sched::SchedulerKind::kCredit, 2, 50.0, 50.0},
+        ConservationCase{sched::SchedulerKind::kCredit, 4, 100.0, 0.0},
+        ConservationCase{sched::SchedulerKind::kSedf, 4, 20.0, 70.0},
+        ConservationCase{sched::SchedulerKind::kSedf, 0, 20.0, 70.0},
+        ConservationCase{sched::SchedulerKind::kSedf, 2, 40.0, 40.0},
+        ConservationCase{sched::SchedulerKind::kSedf, 1, 90.0, 10.0}));
+
+TEST(ConservationTest, MonitorWindowsSumToCumulative) {
+  HostConfig hc;
+  hc.trace_stride = seconds(1);
+  Host host{hc, std::make_unique<sched::CreditScheduler>()};
+  VmConfig a;
+  a.credit = 30.0;
+  host.add_vm(a, std::make_unique<wl::BusyLoop>());
+  host.run_until(seconds(20));
+  // Mean of per-window global loads equals the cumulative busy fraction.
+  double sum = 0.0;
+  for (const auto& s : host.trace().samples()) sum += s.vm_global_pct[0];
+  const double mean_windows = sum / static_cast<double>(host.trace().samples().size());
+  const double cumulative =
+      100.0 * host.vm(0).total_busy.sec() / host.now().sec();
+  EXPECT_NEAR(mean_windows, cumulative, 1.5);
+}
+
+TEST(ConservationTest, FrequencyChangeMidRunKeepsAccounting) {
+  HostConfig hc;
+  hc.trace_stride = SimTime{};
+  Host host{hc, std::make_unique<sched::CreditScheduler>()};
+  VmConfig a;
+  a.credit = 100.0;
+  host.add_vm(a, std::make_unique<wl::BusyLoop>());
+  host.run_until(seconds(10));
+  host.cpufreq().request(0);
+  host.run_until(seconds(20));
+  const double expected_work = 10.0 * 1.0 + 10.0 * (1600.0 / 2667.0);
+  EXPECT_NEAR(host.vm(0).total_work.mf_seconds(), expected_work, 0.1);
+  EXPECT_NEAR(host.vm(0).total_busy.sec(), 20.0, 0.05);
+}
+
+}  // namespace
+}  // namespace pas::hv

@@ -1,0 +1,142 @@
+#include "hypervisor/host.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/credit_scheduler.hpp"
+#include "workload/pi_app.hpp"
+#include "workload/synthetic.hpp"
+
+namespace pas::hv {
+namespace {
+
+using common::mf_seconds;
+using common::seconds;
+
+HostConfig quiet_config() {
+  HostConfig hc;
+  hc.trace_stride = seconds(1);
+  return hc;
+}
+
+TEST(HostTest, RequiresScheduler) {
+  EXPECT_THROW(Host(quiet_config(), nullptr), std::invalid_argument);
+}
+
+TEST(HostTest, SingleBusyVmUsesFullCpu) {
+  Host host{quiet_config(), std::make_unique<sched::CreditScheduler>()};
+  VmConfig cfg;
+  cfg.name = "hog";
+  cfg.credit = 100.0;
+  const auto id = host.add_vm(cfg, std::make_unique<wl::BusyLoop>());
+  host.run_until(seconds(10));
+  // 100 % credit, always runnable, max frequency: ~10 s busy, ~10 mf-s work.
+  EXPECT_NEAR(host.vm(id).total_busy.sec(), 10.0, 0.05);
+  EXPECT_NEAR(host.vm(id).total_work.mf_seconds(), 10.0, 0.05);
+  EXPECT_NEAR(host.idle_time().sec(), 0.0, 0.05);
+}
+
+TEST(HostTest, CreditCapEnforced) {
+  Host host{quiet_config(), std::make_unique<sched::CreditScheduler>()};
+  VmConfig cfg;
+  cfg.name = "v20";
+  cfg.credit = 20.0;
+  const auto id = host.add_vm(cfg, std::make_unique<wl::BusyLoop>());
+  host.run_until(seconds(100));
+  EXPECT_NEAR(host.vm(id).total_busy.sec(), 20.0, 0.5);
+  EXPECT_NEAR(host.idle_time().sec(), 80.0, 0.5);
+}
+
+TEST(HostTest, IdleGuestNeverRuns) {
+  Host host{quiet_config(), std::make_unique<sched::CreditScheduler>()};
+  VmConfig cfg;
+  cfg.credit = 50.0;
+  const auto id = host.add_vm(cfg, std::make_unique<wl::IdleGuest>());
+  host.run_until(seconds(5));
+  EXPECT_EQ(host.vm(id).total_busy, common::SimTime{});
+  EXPECT_NEAR(host.idle_time().sec(), 5.0, 0.01);
+}
+
+TEST(HostTest, PiAppCompletesAtExpectedTime) {
+  Host host{quiet_config(), std::make_unique<sched::CreditScheduler>()};
+  VmConfig cfg;
+  cfg.credit = 100.0;
+  auto app = std::make_unique<wl::PiApp>(mf_seconds(5.0));
+  const wl::PiApp* pi = app.get();
+  host.add_vm(cfg, std::move(app));
+  host.run_until(seconds(10));
+  ASSERT_TRUE(pi->completion_time().has_value());
+  EXPECT_NEAR(pi->completion_time()->sec(), 5.0, 0.05);
+}
+
+TEST(HostTest, LowerFrequencySlowsPiApp) {
+  Host host{quiet_config(), std::make_unique<sched::CreditScheduler>()};
+  VmConfig cfg;
+  cfg.credit = 100.0;
+  auto app = std::make_unique<wl::PiApp>(mf_seconds(5.0));
+  const wl::PiApp* pi = app.get();
+  host.add_vm(cfg, std::move(app));
+  host.cpufreq().request(0);  // 1600/2667 = 0.6 speed
+  host.run_until(seconds(20));
+  ASSERT_TRUE(pi->completion_time().has_value());
+  EXPECT_NEAR(pi->completion_time()->sec(), 5.0 / (1600.0 / 2667.0), 0.2);
+}
+
+TEST(HostTest, TraceSamplesRecorded) {
+  HostConfig hc = quiet_config();
+  hc.trace_stride = seconds(2);
+  Host host{hc, std::make_unique<sched::CreditScheduler>()};
+  VmConfig cfg;
+  cfg.credit = 100.0;
+  host.add_vm(cfg, std::make_unique<wl::BusyLoop>());
+  host.run_until(seconds(10));
+  EXPECT_EQ(host.trace().samples().size(), 5u);
+  EXPECT_DOUBLE_EQ(host.trace().samples().front().freq_mhz, 2667.0);
+  EXPECT_NEAR(host.trace().samples().back().vm_global_pct[0], 100.0, 1.0);
+}
+
+TEST(HostTest, AddVmAfterRunThrows) {
+  Host host{quiet_config(), std::make_unique<sched::CreditScheduler>()};
+  VmConfig cfg;
+  cfg.credit = 100.0;
+  host.add_vm(cfg, std::make_unique<wl::BusyLoop>());
+  host.run_until(seconds(1));
+  EXPECT_THROW(host.add_vm(cfg, std::make_unique<wl::BusyLoop>()), std::logic_error);
+}
+
+TEST(HostTest, SaturationDetection) {
+  Host host{quiet_config(), std::make_unique<sched::CreditScheduler>()};
+  VmConfig hog;
+  hog.credit = 20.0;
+  const auto hog_id = host.add_vm(hog, std::make_unique<wl::BusyLoop>());
+  VmConfig lazy;
+  lazy.credit = 70.0;
+  const auto lazy_id = host.add_vm(lazy, std::make_unique<wl::IdleGuest>());
+  host.run_until(seconds(5));
+  EXPECT_TRUE(host.vm_saturated_last_window(hog_id));
+  EXPECT_FALSE(host.vm_saturated_last_window(lazy_id));
+}
+
+TEST(HostTest, EnergyAccountedForWholeRun) {
+  Host host{quiet_config(), std::make_unique<sched::CreditScheduler>()};
+  VmConfig cfg;
+  cfg.credit = 50.0;
+  host.add_vm(cfg, std::make_unique<wl::BusyLoop>());
+  host.run_until(seconds(10));
+  EXPECT_NEAR(host.energy().elapsed().sec(), 10.0, 0.01);
+  // Between pure idle and pure busy at max frequency.
+  EXPECT_GT(host.energy().joules(), 45.0 * 10 * 0.99);
+  EXPECT_LT(host.energy().joules(), 105.0 * 10 * 1.01);
+}
+
+TEST(HostTest, WorkloadAccessor) {
+  Host host{quiet_config(), std::make_unique<sched::CreditScheduler>()};
+  VmConfig cfg;
+  cfg.credit = 100.0;
+  const auto id = host.add_vm(cfg, std::make_unique<wl::BusyLoop>());
+  host.run_until(seconds(2));
+  auto& wlr = dynamic_cast<wl::BusyLoop&>(host.workload(id));
+  EXPECT_GT(wlr.total_consumed().mf_seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace pas::hv

@@ -1,0 +1,160 @@
+// Integration tests: each test pins the qualitative shape of one of the
+// paper's figures, on a shortened (2000 s) version of the §5.3 profile.
+// Phase indices into TwoVmResult::phases: 0 warmup, 1 V20-only, 2 V20+V70,
+// 3 V20-only, 4 idle tail.
+#include <gtest/gtest.h>
+
+#include "scenario/two_vm.hpp"
+
+namespace pas::scenario {
+namespace {
+
+using common::seconds;
+
+TwoVmConfig short_profile() {
+  TwoVmConfig cfg;
+  cfg.total = seconds(2000);
+  cfg.v20_from = seconds(100);
+  cfg.v20_until = seconds(1700);
+  cfg.v70_from = seconds(600);
+  cfg.v70_until = seconds(1300);
+  cfg.trace_stride = seconds(5);
+  return cfg;
+}
+
+// --- Fig. 2: credit scheduler at pinned max frequency (performance) ---
+TEST(FigureShapes, Fig2ReferenceProfileAtMaxFrequency) {
+  TwoVmConfig cfg = short_profile();
+  cfg.scheduler = sched::SchedulerKind::kCredit;
+  cfg.governor = "performance";
+  cfg.load = LoadKind::kExact;
+  const TwoVmResult r = run_two_vm(cfg);
+
+  EXPECT_NEAR(r.phases[1].mean_freq_mhz, 2667.0, 1.0);
+  EXPECT_NEAR(r.phases[1].v20_global_pct, 20.0, 2.5);
+  EXPECT_NEAR(r.phases[2].v20_global_pct, 20.0, 2.5);
+  EXPECT_NEAR(r.phases[2].v70_global_pct, 70.0, 5.0);
+  EXPECT_LT(r.phases[4].mean_global_pct, 3.0);  // idle tail
+  // At max frequency global == absolute.
+  EXPECT_NEAR(r.phases[1].v20_global_pct, r.phases[1].v20_absolute_pct, 0.5);
+}
+
+// --- Fig. 4/5: credit scheduler + (stable) ondemand, exact load. THE
+// problem figure: V20's absolute load collapses to ~12 % in the V20-only
+// phases because the frequency was lowered, and recovers only while V70 is
+// active. ---
+TEST(FigureShapes, Fig5CreditSchedulerPenalizesV20AtLowFrequency) {
+  TwoVmConfig cfg = short_profile();
+  cfg.scheduler = sched::SchedulerKind::kCredit;
+  cfg.governor = "stable-ondemand";
+  cfg.load = LoadKind::kExact;
+  const TwoVmResult r = run_two_vm(cfg);
+
+  // Phase 1: host underloaded -> lowest frequency -> V20 starved.
+  EXPECT_NEAR(r.phases[1].mean_freq_mhz, 1600.0, 30.0);
+  EXPECT_NEAR(r.phases[1].v20_global_pct, 20.0, 2.5);  // time share intact
+  EXPECT_NEAR(r.phases[1].v20_absolute_pct, 20.0 * 1600 / 2667, 2.0);  // ~12 %
+  // Phase 2: V70 wakes, frequency climbs to max, V20 recovers its 20 %.
+  EXPECT_NEAR(r.phases[2].mean_freq_mhz, 2667.0, 60.0);
+  EXPECT_GT(r.phases[2].v20_absolute_pct, 17.0);
+  // Phase 3: V70 sleeps again, the penalty returns.
+  EXPECT_LT(r.phases[3].v20_absolute_pct, 15.0);
+  // The SLA violation is substantial (most of phases 1 and 3).
+  EXPECT_GT(r.v20_sla_violation, 0.4);
+}
+
+// --- Fig. 3 vs Fig. 4: stock ondemand oscillates, stable does not ---
+TEST(FigureShapes, Fig3OndemandOscillatesFig4StableDoesNot) {
+  TwoVmConfig cfg = short_profile();
+  cfg.scheduler = sched::SchedulerKind::kCredit;
+  cfg.load = LoadKind::kExact;
+
+  cfg.governor = "ondemand";
+  const TwoVmResult unstable = run_two_vm(cfg);
+  cfg.governor = "stable-ondemand";
+  const TwoVmResult stable = run_two_vm(cfg);
+
+  EXPECT_GT(unstable.freq_transitions, 10 * stable.freq_transitions);
+  EXPECT_LT(stable.freq_transitions, 40u);
+}
+
+// --- Fig. 6/7: SEDF with exact load solves the QoS problem ---
+TEST(FigureShapes, Fig7SedfDeliversAbsoluteCreditAtLowFrequency) {
+  TwoVmConfig cfg = short_profile();
+  cfg.scheduler = sched::SchedulerKind::kSedf;
+  cfg.governor = "stable-ondemand";
+  cfg.load = LoadKind::kExact;
+  const TwoVmResult r = run_two_vm(cfg);
+
+  // Phase 1: frequency still low, but V20 gets extra slices: global ≈ 33 %,
+  // absolute ≈ 20 % (Fig. 6's 35 % plateau / Fig. 7's flat 20 %).
+  EXPECT_NEAR(r.phases[1].mean_freq_mhz, 1600.0, 40.0);
+  EXPECT_NEAR(r.phases[1].v20_global_pct, 33.0, 4.0);
+  EXPECT_NEAR(r.phases[1].v20_absolute_pct, 20.0, 2.0);
+  EXPECT_NEAR(r.phases[2].v20_absolute_pct, 20.0, 2.5);
+  EXPECT_LT(r.v20_sla_violation, 0.15);
+}
+
+// --- Fig. 8: SEDF with thrashing load betrays the provider ---
+TEST(FigureShapes, Fig8SedfThrashingConsumesHostAndPinsMaxFrequency) {
+  TwoVmConfig cfg = short_profile();
+  cfg.scheduler = sched::SchedulerKind::kSedf;
+  cfg.governor = "stable-ondemand";
+  cfg.load = LoadKind::kThrashing;
+  cfg.dom0_demand = 10.0;  // thrashing web traffic loads the Dom0 backend
+  const TwoVmResult r = run_two_vm(cfg);
+
+  // V20 grabs far more than its 20 % and the frequency never drops.
+  EXPECT_GT(r.phases[1].v20_global_pct, 75.0);
+  EXPECT_NEAR(r.phases[1].mean_freq_mhz, 2667.0, 30.0);
+  EXPECT_NEAR(r.phases[3].mean_freq_mhz, 2667.0, 30.0);
+}
+
+// --- Fig. 9/10: PAS both saves energy and honors the SLA ---
+TEST(FigureShapes, Fig9And10PasCompensatesUnderThrashing) {
+  TwoVmConfig cfg = short_profile();
+  cfg.scheduler = sched::SchedulerKind::kCredit;
+  cfg.governor = "";  // PAS owns DVFS
+  cfg.controller = ControllerKind::kPas;
+  cfg.load = LoadKind::kThrashing;
+  cfg.dom0_demand = 10.0;
+  const TwoVmResult r = run_two_vm(cfg);
+
+  // Phase 1: lowest frequency, V20's cap compensated to ~33 %, absolute 20.
+  EXPECT_NEAR(r.phases[1].mean_freq_mhz, 1600.0, 40.0);
+  EXPECT_NEAR(r.phases[1].v20_credit_pct, 33.3, 1.5);
+  EXPECT_NEAR(r.phases[1].v20_global_pct, 33.3, 3.0);
+  EXPECT_NEAR(r.phases[1].v20_absolute_pct, 20.0, 1.5);
+  // Phase 2: full demand, max frequency, caps back to 20/70.
+  EXPECT_NEAR(r.phases[2].mean_freq_mhz, 2667.0, 60.0);
+  EXPECT_NEAR(r.phases[2].v20_credit_pct, 20.0, 1.5);
+  EXPECT_NEAR(r.phases[2].v20_absolute_pct, 20.0, 2.0);
+  EXPECT_NEAR(r.phases[2].v70_absolute_pct, 70.0, 5.0);
+  // Unlike SEDF (Fig. 8), V20 never exceeds its paid capacity...
+  EXPECT_LT(r.phases[1].v20_absolute_pct, 22.5);
+  // ...and unlike plain credit (Fig. 5), the SLA holds.
+  EXPECT_LT(r.v20_sla_violation, 0.1);
+}
+
+// PAS also saves energy relative to SEDF under thrashing (the provider-side
+// argument of §3.2 scenario 2).
+TEST(FigureShapes, PasUsesLessEnergyThanSedfUnderThrashing) {
+  TwoVmConfig pas_cfg = short_profile();
+  pas_cfg.scheduler = sched::SchedulerKind::kCredit;
+  pas_cfg.governor = "";
+  pas_cfg.controller = ControllerKind::kPas;
+  pas_cfg.load = LoadKind::kThrashing;
+  pas_cfg.dom0_demand = 10.0;
+
+  TwoVmConfig sedf_cfg = pas_cfg;
+  sedf_cfg.scheduler = sched::SchedulerKind::kSedf;
+  sedf_cfg.governor = "stable-ondemand";
+  sedf_cfg.controller = ControllerKind::kNone;
+
+  const TwoVmResult pas = run_two_vm(pas_cfg);
+  const TwoVmResult sedf = run_two_vm(sedf_cfg);
+  EXPECT_LT(pas.energy_joules, sedf.energy_joules * 0.95);
+}
+
+}  // namespace
+}  // namespace pas::scenario

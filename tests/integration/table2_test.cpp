@@ -1,0 +1,78 @@
+// Table 2 shape assertions: who degrades under OnDemand and by how much.
+#include <gtest/gtest.h>
+
+#include "platform/catalog.hpp"
+
+namespace pas::platform {
+namespace {
+
+Table2Config fast_config() {
+  Table2Config c;
+  c.pi_work = common::mf_seconds(40.0);  // scaled down 8x; ratios unchanged
+  return c;
+}
+
+class Table2Fixture : public ::testing::Test {
+ protected:
+  static const std::vector<Table2Row>& rows() {
+    static const std::vector<Table2Row> r = run_table2(fast_config());
+    return r;
+  }
+  static const Table2Row& row(const std::string& name) {
+    for (const auto& r : rows()) {
+      if (r.name == name) return r;
+    }
+    throw std::runtime_error("row not found: " + name);
+  }
+};
+
+TEST_F(Table2Fixture, SevenPlatforms) { EXPECT_EQ(rows().size(), 7u); }
+
+TEST_F(Table2Fixture, FixedCreditDegradationsMatchPaper) {
+  // Paper: 50 / 27 / 40 %.
+  EXPECT_NEAR(row("Hyper-V Server 2012").degradation_pct, 50.0, 4.0);
+  EXPECT_NEAR(row("VMware ESXi 5").degradation_pct, 27.0, 4.0);
+  EXPECT_NEAR(row("Xen/credit").degradation_pct, 40.0, 4.0);
+}
+
+TEST_F(Table2Fixture, PasCancelsDegradation) {
+  EXPECT_NEAR(row("Xen/PAS").degradation_pct, 0.0, 2.0);
+  // And PAS's absolute time matches the fixed-credit Performance rows.
+  EXPECT_NEAR(row("Xen/PAS").t_performance_sec, row("Xen/credit").t_performance_sec,
+              0.05 * row("Xen/credit").t_performance_sec);
+}
+
+TEST_F(Table2Fixture, VariableCreditPlatformsDoNotDegrade) {
+  for (const char* name : {"Xen/SEDF", "KVM", "VirtualBox"}) {
+    EXPECT_NEAR(row(name).degradation_pct, 0.0, 2.0) << name;
+  }
+}
+
+TEST_F(Table2Fixture, VariableCreditMuchFasterThanFixed) {
+  // Paper: ~616 vs ~1559 s — about 2.5x.
+  const double fixed = row("Xen/credit").t_performance_sec;
+  const double variable = row("Xen/SEDF").t_performance_sec;
+  EXPECT_NEAR(fixed / variable, 2.53, 0.25);
+}
+
+TEST_F(Table2Fixture, RelativeTimesMatchPaperColumns) {
+  // Performance column ratios (paper: 1601/1550/1559/1559/616/599/625).
+  const double base = row("Xen/credit").t_performance_sec;
+  EXPECT_NEAR(row("Xen/SEDF").t_performance_sec / base, 616.0 / 1559.0, 0.03);
+  EXPECT_NEAR(row("KVM").t_performance_sec / base, 599.0 / 1559.0, 0.03);
+  EXPECT_NEAR(row("VirtualBox").t_performance_sec / base, 625.0 / 1559.0, 0.03);
+  // OnDemand column ratios (paper: 3212/2132/2599 for the degraded rows).
+  EXPECT_NEAR(row("Hyper-V Server 2012").t_ondemand_sec / base, 3212.0 / 1559.0, 0.10);
+  EXPECT_NEAR(row("VMware ESXi 5").t_ondemand_sec / base, 2132.0 / 1559.0, 0.08);
+  EXPECT_NEAR(row("Xen/credit").t_ondemand_sec / base, 2599.0 / 1559.0, 0.08);
+}
+
+TEST_F(Table2Fixture, LadderMatchesDocumentedFloors) {
+  const auto ladder = table2_ladder();
+  EXPECT_NEAR(ladder.ratio(0), 0.50, 0.001);
+  EXPECT_NEAR(ladder.ratio(1), 0.60, 0.001);
+  EXPECT_NEAR(ladder.ratio(2), 0.7273, 0.001);
+}
+
+}  // namespace
+}  // namespace pas::platform

@@ -1,0 +1,55 @@
+#include "metrics/energy_meter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::metrics {
+namespace {
+
+using common::msec;
+using common::seconds;
+using common::SimTime;
+
+TEST(EnergyMeterTest, IdleInterval) {
+  EnergyMeter m{cpu::PowerModel{40.0, 100.0, 3.0}};
+  m.record(seconds(10), 1.0, SimTime{});
+  EXPECT_NEAR(m.joules(), 400.0, 1e-9);
+  EXPECT_NEAR(m.average_watts(), 40.0, 1e-9);
+}
+
+TEST(EnergyMeterTest, BusyInterval) {
+  EnergyMeter m{cpu::PowerModel{40.0, 100.0, 3.0}};
+  m.record(seconds(10), 1.0, seconds(10));
+  EXPECT_NEAR(m.joules(), 1000.0, 1e-9);
+}
+
+TEST(EnergyMeterTest, PartialUtilization) {
+  EnergyMeter m{cpu::PowerModel{40.0, 100.0, 3.0}};
+  m.record(seconds(10), 1.0, seconds(5));
+  EXPECT_NEAR(m.joules(), (40.0 + 30.0) * 10, 1e-9);
+}
+
+TEST(EnergyMeterTest, LowerFrequencyCheaper) {
+  EnergyMeter hi{cpu::PowerModel{40.0, 100.0, 3.0}};
+  EnergyMeter lo{cpu::PowerModel{40.0, 100.0, 3.0}};
+  hi.record(seconds(10), 1.0, seconds(10));
+  lo.record(seconds(10), 0.6, seconds(10));
+  EXPECT_LT(lo.joules(), hi.joules());
+}
+
+TEST(EnergyMeterTest, AccumulatesAcrossRecords) {
+  EnergyMeter m{cpu::PowerModel{40.0, 100.0, 3.0}};
+  for (int i = 0; i < 100; ++i) m.record(msec(100), 1.0, msec(50));
+  EXPECT_EQ(m.elapsed(), seconds(10));
+  EXPECT_NEAR(m.joules(), (40.0 + 30.0) * 10, 1e-6);
+  EXPECT_NEAR(m.watt_hours(), m.joules() / 3600.0, 1e-12);
+}
+
+TEST(EnergyMeterTest, ZeroIntervalIgnored) {
+  EnergyMeter m{cpu::PowerModel::desktop_2008()};
+  m.record(SimTime{}, 1.0, SimTime{});
+  EXPECT_DOUBLE_EQ(m.joules(), 0.0);
+  EXPECT_DOUBLE_EQ(m.average_watts(), 0.0);
+}
+
+}  // namespace
+}  // namespace pas::metrics

@@ -1,0 +1,96 @@
+#include "metrics/load_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::metrics {
+namespace {
+
+using common::mf_usec;
+using common::msec;
+using common::seconds;
+
+struct LoadMonitorTest : ::testing::Test {
+  LoadMonitor mon{seconds(1), 3};
+  void SetUp() override {
+    mon.register_vm(0);
+    mon.register_vm(1);
+  }
+};
+
+TEST_F(LoadMonitorTest, WindowLoads) {
+  mon.record_run(0, msec(200), mf_usec(200'000));  // 20 % busy, full speed
+  mon.record_run(1, msec(100), mf_usec(60'000));   // 10 % busy at 0.6 speed
+  mon.close_window(seconds(1));
+  EXPECT_DOUBLE_EQ(mon.vm_global_load_pct(0), 20.0);
+  EXPECT_DOUBLE_EQ(mon.vm_global_load_pct(1), 10.0);
+  EXPECT_DOUBLE_EQ(mon.vm_absolute_load_pct(0), 20.0);
+  EXPECT_DOUBLE_EQ(mon.vm_absolute_load_pct(1), 6.0);
+  EXPECT_DOUBLE_EQ(mon.global_load_pct(), 30.0);
+  EXPECT_DOUBLE_EQ(mon.absolute_load_pct(), 26.0);
+}
+
+TEST_F(LoadMonitorTest, WindowResetsAfterClose) {
+  mon.record_run(0, msec(500), mf_usec(500'000));
+  mon.close_window(seconds(1));
+  mon.close_window(seconds(2));
+  EXPECT_DOUBLE_EQ(mon.vm_global_load_pct(0), 0.0);
+  EXPECT_DOUBLE_EQ(mon.global_load_pct(), 0.0);
+}
+
+TEST_F(LoadMonitorTest, ThreeWindowAverage) {
+  mon.record_run(0, msec(100), mf_usec(100'000));
+  mon.close_window(seconds(1));  // 10 %
+  mon.record_run(0, msec(200), mf_usec(200'000));
+  mon.close_window(seconds(2));  // 20 %
+  mon.record_run(0, msec(600), mf_usec(600'000));
+  mon.close_window(seconds(3));  // 60 %
+  EXPECT_DOUBLE_EQ(mon.avg_global_load_pct(), 30.0);
+  // A fourth window evicts the first.
+  mon.record_run(0, msec(400), mf_usec(400'000));
+  mon.close_window(seconds(4));  // 40 %
+  EXPECT_DOUBLE_EQ(mon.avg_global_load_pct(), 40.0);
+}
+
+TEST_F(LoadMonitorTest, AbsoluteAverageTracksWork) {
+  mon.record_run(0, msec(1000), mf_usec(600'000));  // busy 100 % at 0.6 speed
+  mon.close_window(seconds(1));
+  EXPECT_DOUBLE_EQ(mon.avg_absolute_load_pct(), 60.0);
+  EXPECT_DOUBLE_EQ(mon.avg_global_load_pct(), 100.0);
+}
+
+TEST_F(LoadMonitorTest, VmLoadRelativeToCredit) {
+  mon.record_run(0, msec(200), mf_usec(200'000));
+  mon.close_window(seconds(1));
+  // V20-style: 20 % of the host on a 20 % credit = 100 % VM load.
+  EXPECT_DOUBLE_EQ(mon.vm_load_pct(0, 20.0), 100.0);
+  EXPECT_DOUBLE_EQ(mon.vm_load_pct(0, 40.0), 50.0);
+  EXPECT_DOUBLE_EQ(mon.vm_load_pct(0, 0.0), 0.0);
+}
+
+TEST_F(LoadMonitorTest, CumulativeCounters) {
+  mon.record_run(0, msec(100), mf_usec(50'000));
+  mon.close_window(seconds(1));
+  mon.record_run(1, msec(300), mf_usec(300'000));
+  EXPECT_EQ(mon.cumulative_busy(), msec(400));
+  EXPECT_EQ(mon.cumulative_busy(0), msec(100));
+  EXPECT_EQ(mon.cumulative_busy(1), msec(300));
+  EXPECT_DOUBLE_EQ(mon.cumulative_work().mfus(), 350'000.0);
+}
+
+TEST_F(LoadMonitorTest, RejectsSparseRegistration) {
+  LoadMonitor m{seconds(1)};
+  EXPECT_THROW(m.register_vm(5), std::invalid_argument);
+}
+
+TEST_F(LoadMonitorTest, RejectsBadWindow) {
+  EXPECT_THROW(LoadMonitor(common::SimTime{}, 3), std::invalid_argument);
+}
+
+TEST_F(LoadMonitorTest, MultipleRecordsAccumulateWithinWindow) {
+  for (int i = 0; i < 10; ++i) mon.record_run(0, msec(10), mf_usec(10'000));
+  mon.close_window(seconds(1));
+  EXPECT_DOUBLE_EQ(mon.vm_global_load_pct(0), 10.0);
+}
+
+}  // namespace
+}  // namespace pas::metrics

@@ -1,0 +1,66 @@
+#include "metrics/sla_checker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::metrics {
+namespace {
+
+using common::seconds;
+
+struct SlaCheckerTest : ::testing::Test {
+  SlaChecker sla{2.0};
+  void SetUp() override { sla.register_vm(0, 20.0); }
+};
+
+TEST_F(SlaCheckerTest, NoViolationWhenDelivered) {
+  sla.record_window(0, seconds(10), 20.0, /*saturated=*/true);
+  sla.record_window(0, seconds(10), 19.0, true);  // within tolerance
+  EXPECT_EQ(sla.violation_time(0), common::SimTime{});
+  EXPECT_DOUBLE_EQ(sla.violation_fraction(0), 0.0);
+}
+
+TEST_F(SlaCheckerTest, ViolationWhenShortAndSaturated) {
+  sla.record_window(0, seconds(10), 12.0, true);
+  EXPECT_EQ(sla.violation_time(0), seconds(10));
+  EXPECT_DOUBLE_EQ(sla.violation_fraction(0), 1.0);
+  EXPECT_DOUBLE_EQ(sla.worst_shortfall_pct(0), 8.0);
+}
+
+TEST_F(SlaCheckerTest, UnsaturatedWindowsIgnored) {
+  // An idle VM with 0 % absolute load is not a violation.
+  sla.record_window(0, seconds(10), 0.0, /*saturated=*/false);
+  EXPECT_EQ(sla.observed_time(0), common::SimTime{});
+  EXPECT_DOUBLE_EQ(sla.violation_fraction(0), 0.0);
+}
+
+TEST_F(SlaCheckerTest, MixedWindows) {
+  sla.record_window(0, seconds(10), 12.0, true);   // violated
+  sla.record_window(0, seconds(10), 20.0, true);   // fine
+  sla.record_window(0, seconds(10), 10.0, false);  // ignored
+  sla.record_window(0, seconds(10), 11.0, true);   // violated
+  EXPECT_EQ(sla.observed_time(0), seconds(30));
+  EXPECT_EQ(sla.violation_time(0), seconds(20));
+  EXPECT_NEAR(sla.violation_fraction(0), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(sla.worst_shortfall_pct(0), 9.0);
+}
+
+TEST_F(SlaCheckerTest, OverDeliveryIsFine) {
+  sla.record_window(0, seconds(10), 35.0, true);
+  EXPECT_DOUBLE_EQ(sla.violation_fraction(0), 0.0);
+}
+
+TEST_F(SlaCheckerTest, RejectsSparseRegistration) {
+  EXPECT_THROW(sla.register_vm(5, 10.0), std::invalid_argument);
+}
+
+TEST_F(SlaCheckerTest, MultipleVms) {
+  sla.register_vm(1, 70.0);
+  sla.record_window(1, seconds(10), 40.0, true);
+  sla.record_window(0, seconds(10), 20.0, true);
+  EXPECT_DOUBLE_EQ(sla.violation_fraction(0), 0.0);
+  EXPECT_DOUBLE_EQ(sla.violation_fraction(1), 1.0);
+  EXPECT_DOUBLE_EQ(sla.worst_shortfall_pct(1), 30.0);
+}
+
+}  // namespace
+}  // namespace pas::metrics

@@ -1,0 +1,69 @@
+#include "metrics/trace_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace pas::metrics {
+namespace {
+
+TraceSample make_sample(double t_sec, double freq, double v0, double v1) {
+  TraceSample s;
+  s.t = common::seconds(static_cast<std::int64_t>(t_sec));
+  s.freq_mhz = freq;
+  s.global_load_pct = v0 + v1;
+  s.absolute_load_pct = (v0 + v1) * freq / 2667.0;
+  s.vm_global_pct = {v0, v1};
+  s.vm_absolute_pct = {v0 * freq / 2667.0, v1 * freq / 2667.0};
+  s.vm_credit_pct = {20.0, 70.0};
+  s.vm_saturated = {1.0, 0.0};
+  return s;
+}
+
+TEST(TraceRecorderTest, SeriesExtraction) {
+  TraceRecorder tr{2};
+  tr.add(make_sample(10, 1600, 20, 0));
+  tr.add(make_sample(20, 2667, 20, 70));
+  EXPECT_EQ(tr.samples().size(), 2u);
+  EXPECT_EQ(tr.series_freq(), (std::vector<double>{1600, 2667}));
+  EXPECT_EQ(tr.series_vm_global(0), (std::vector<double>{20, 20}));
+  EXPECT_EQ(tr.series_vm_global(1), (std::vector<double>{0, 70}));
+  EXPECT_EQ(tr.series_time_sec(), (std::vector<double>{10, 20}));
+  EXPECT_EQ(tr.series_vm_credit(0), (std::vector<double>{20, 20}));
+}
+
+TEST(TraceRecorderTest, EmptyTrace) {
+  TraceRecorder tr{1};
+  EXPECT_TRUE(tr.empty());
+  EXPECT_TRUE(tr.series_freq().empty());
+}
+
+TEST(TraceRecorderTest, WriteCsv) {
+  TraceRecorder tr{2};
+  tr.add(make_sample(10, 1600, 20, 0));
+  const std::string path = ::testing::TempDir() + "/pas_trace_test.csv";
+  tr.write_csv(path);
+  std::ifstream in{path};
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header,
+            "t_sec,freq_mhz,global_pct,absolute_pct,vm0_global_pct,vm1_global_pct,"
+            "vm0_absolute_pct,vm1_absolute_pct,vm0_credit_pct,vm1_credit_pct");
+  std::string row;
+  std::getline(in, row);
+  EXPECT_NE(row.find("10,1600"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceRecorderTest, AbsoluteSeries) {
+  TraceRecorder tr{2};
+  tr.add(make_sample(10, 1600, 20, 0));
+  const auto abs0 = tr.series_vm_absolute(0);
+  ASSERT_EQ(abs0.size(), 1u);
+  EXPECT_NEAR(abs0[0], 20.0 * 1600 / 2667, 1e-9);
+}
+
+}  // namespace
+}  // namespace pas::metrics

@@ -1,0 +1,117 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pas::sim {
+namespace {
+
+using common::msec;
+using common::SimTime;
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(msec(30), [&](SimTime) { order.push_back(3); });
+  q.schedule(msec(10), [&](SimTime) { order.push_back(1); });
+  q.schedule(msec(20), [&](SimTime) { order.push_back(2); });
+  q.run_until(msec(100));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TieBreaksByInsertion) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(msec(10), [&](SimTime) { order.push_back(1); });
+  q.schedule(msec(10), [&](SimTime) { order.push_back(2); });
+  q.schedule(msec(10), [&](SimTime) { order.push_back(3); });
+  q.run_until(msec(10));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, RespectsUntilBoundInclusive) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(msec(10), [&](SimTime) { ++fired; });
+  q.schedule(msec(11), [&](SimTime) { ++fired; });
+  q.run_until(msec(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_until(msec(11));
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, EventsMaySchedule) {
+  EventQueue q;
+  std::vector<SimTime> fired_at;
+  q.schedule(msec(5), [&](SimTime now) {
+    fired_at.push_back(now);
+    q.schedule(now + msec(5), [&](SimTime n2) { fired_at.push_back(n2); });
+  });
+  q.run_until(msec(20));
+  ASSERT_EQ(fired_at.size(), 2u);
+  EXPECT_EQ(fired_at[0], msec(5));
+  EXPECT_EQ(fired_at[1], msec(10));
+}
+
+TEST(EventQueueTest, ChainedEventsPastBoundWait) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(msec(5), [&](SimTime now) {
+    ++fired;
+    q.schedule(now + msec(100), [&](SimTime) { ++fired; });
+  });
+  q.run_until(msec(50));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, Cancel) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.schedule(msec(10), [&](SimTime) { ++fired; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // already cancelled
+  q.run_until(msec(100));
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CancelAfterFireReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(msec(1), [](SimTime) {});
+  q.run_until(msec(1));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, NextEventTime) {
+  EventQueue q;
+  EXPECT_EQ(q.next_event_time(msec(99)), msec(99));
+  q.schedule(msec(42), [](SimTime) {});
+  EXPECT_EQ(q.next_event_time(msec(99)), msec(42));
+}
+
+TEST(EventQueueTest, PastEventsFireAtNextDispatch) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(msec(1), [&](SimTime) { ++fired; });
+  q.run_until(msec(50));
+  q.schedule(msec(10), [&](SimTime) { ++fired; });  // "past" by wall clock
+  q.run_until(msec(50));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, ManyEventsStressOrdering) {
+  EventQueue q;
+  std::vector<std::int64_t> fired;
+  for (int i = 999; i >= 0; --i) {
+    q.schedule(msec(i), [&fired](SimTime now) { fired.push_back(now.us()); });
+  }
+  q.run_until(msec(1000));
+  ASSERT_EQ(fired.size(), 1000u);
+  for (std::size_t i = 1; i < fired.size(); ++i) EXPECT_LE(fired[i - 1], fired[i]);
+}
+
+}  // namespace
+}  // namespace pas::sim

@@ -1,0 +1,62 @@
+#include "workload/load_profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::wl {
+namespace {
+
+using common::seconds;
+using common::SimTime;
+
+TEST(LoadProfileTest, Constant) {
+  const auto p = LoadProfile::constant(5.0);
+  EXPECT_DOUBLE_EQ(p.at(SimTime{}), 5.0);
+  EXPECT_DOUBLE_EQ(p.at(seconds(1'000'000)), 5.0);
+}
+
+TEST(LoadProfileTest, PulseShape) {
+  const auto p = LoadProfile::pulse(seconds(10), seconds(20), 3.0);
+  EXPECT_DOUBLE_EQ(p.at(seconds(0)), 0.0);
+  EXPECT_DOUBLE_EQ(p.at(seconds(9)), 0.0);
+  EXPECT_DOUBLE_EQ(p.at(seconds(10)), 3.0);  // inclusive start
+  EXPECT_DOUBLE_EQ(p.at(seconds(19)), 3.0);
+  EXPECT_DOUBLE_EQ(p.at(seconds(20)), 0.0);  // exclusive end
+  EXPECT_DOUBLE_EQ(p.at(seconds(100)), 0.0);
+}
+
+TEST(LoadProfileTest, MultiStep) {
+  const LoadProfile p{{{seconds(1), 1.0}, {seconds(2), 2.0}, {seconds(3), 0.5}}};
+  EXPECT_DOUBLE_EQ(p.at(SimTime{}), 0.0);
+  EXPECT_DOUBLE_EQ(p.at(seconds(1)), 1.0);
+  EXPECT_DOUBLE_EQ(p.at(seconds(2)), 2.0);
+  EXPECT_DOUBLE_EQ(p.at(seconds(5)), 0.5);
+}
+
+TEST(LoadProfileTest, NextChangeAfter) {
+  const auto p = LoadProfile::pulse(seconds(10), seconds(20), 1.0);
+  const SimTime horizon = seconds(100);
+  EXPECT_EQ(p.next_change_after(SimTime{}, horizon), seconds(10));
+  EXPECT_EQ(p.next_change_after(seconds(10), horizon), seconds(20));
+  EXPECT_EQ(p.next_change_after(seconds(20), horizon), horizon);
+}
+
+TEST(LoadProfileTest, NextChangeClampedToHorizon) {
+  const auto p = LoadProfile::pulse(seconds(10), seconds(20), 1.0);
+  EXPECT_EQ(p.next_change_after(SimTime{}, seconds(5)), seconds(5));
+}
+
+TEST(LoadProfileTest, RejectsUnorderedSteps) {
+  EXPECT_THROW(LoadProfile({{seconds(2), 1.0}, {seconds(1), 2.0}}), std::invalid_argument);
+  EXPECT_THROW(LoadProfile({{seconds(1), 1.0}, {seconds(1), 2.0}}), std::invalid_argument);
+}
+
+TEST(LoadProfileTest, RejectsNegativeValues) {
+  EXPECT_THROW(LoadProfile({{seconds(1), -1.0}}), std::invalid_argument);
+}
+
+TEST(LoadProfileTest, RejectsEmptyPulse) {
+  EXPECT_THROW(LoadProfile::pulse(seconds(5), seconds(5), 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pas::wl

@@ -1,0 +1,68 @@
+#include "workload/pi_app.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::wl {
+namespace {
+
+using common::mf_usec;
+using common::msec;
+using common::Work;
+
+TEST(PiAppTest, NotRunnableBeforeStart) {
+  PiApp app{mf_usec(100), msec(10)};
+  app.advance_to(msec(5));
+  EXPECT_FALSE(app.runnable());
+  app.advance_to(msec(10));
+  EXPECT_TRUE(app.runnable());
+}
+
+TEST(PiAppTest, ConsumesUpToRemaining) {
+  PiApp app{mf_usec(100)};
+  app.advance_to(common::SimTime{});
+  EXPECT_EQ(app.consume(common::SimTime{}, mf_usec(60)), mf_usec(60));
+  EXPECT_EQ(app.remaining(), mf_usec(40));
+  EXPECT_EQ(app.consume(common::SimTime{}, mf_usec(60)), mf_usec(40));
+  EXPECT_TRUE(app.finished());
+  EXPECT_FALSE(app.runnable());
+}
+
+TEST(PiAppTest, RecordsCompletionTime) {
+  PiApp app{mf_usec(100)};
+  app.advance_to(msec(1));
+  (void)app.consume(msec(1), mf_usec(50));
+  EXPECT_FALSE(app.completion_time().has_value());
+  (void)app.consume(msec(2), mf_usec(50));
+  ASSERT_TRUE(app.completion_time().has_value());
+  EXPECT_EQ(*app.completion_time(), msec(2));
+}
+
+TEST(PiAppTest, ConsumeBeforeStartDoesNothing) {
+  PiApp app{mf_usec(100), msec(10)};
+  app.advance_to(msec(5));
+  EXPECT_EQ(app.consume(msec(5), mf_usec(50)), Work{});
+  EXPECT_EQ(app.remaining(), mf_usec(100));
+}
+
+TEST(PiAppTest, ConsumeAfterFinishReturnsZero) {
+  PiApp app{mf_usec(10)};
+  app.advance_to(common::SimTime{});
+  (void)app.consume(common::SimTime{}, mf_usec(10));
+  EXPECT_EQ(app.consume(msec(1), mf_usec(10)), Work{});
+}
+
+TEST(PiAppTest, CompletionTimeStableAfterFinish) {
+  PiApp app{mf_usec(10)};
+  app.advance_to(common::SimTime{});
+  (void)app.consume(msec(3), mf_usec(10));
+  (void)app.consume(msec(9), mf_usec(10));
+  EXPECT_EQ(*app.completion_time(), msec(3));
+}
+
+TEST(PiAppTest, TotalAccessor) {
+  PiApp app{mf_usec(123)};
+  EXPECT_EQ(app.total(), mf_usec(123));
+}
+
+}  // namespace
+}  // namespace pas::wl

@@ -1,0 +1,56 @@
+#include "workload/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::wl {
+namespace {
+
+using common::mf_usec;
+using common::seconds;
+using common::Work;
+
+TEST(BusyLoopTest, AlwaysRunnableAndConsumesAll) {
+  BusyLoop w;
+  w.advance_to(seconds(1));
+  EXPECT_TRUE(w.runnable());
+  EXPECT_EQ(w.consume(seconds(1), mf_usec(500)), mf_usec(500));
+  EXPECT_EQ(w.total_consumed(), mf_usec(500));
+  EXPECT_FALSE(w.finished());
+}
+
+TEST(IdleGuestTest, NeverRunnable) {
+  IdleGuest w;
+  w.advance_to(seconds(100));
+  EXPECT_FALSE(w.runnable());
+  EXPECT_EQ(w.consume(seconds(100), mf_usec(500)), Work{});
+}
+
+TEST(GatedBusyLoopTest, FollowsGateProfile) {
+  GatedBusyLoop w{LoadProfile::pulse(seconds(10), seconds(20), 1.0)};
+  w.advance_to(seconds(5));
+  EXPECT_FALSE(w.runnable());
+  w.advance_to(seconds(10));
+  EXPECT_TRUE(w.runnable());
+  EXPECT_EQ(w.consume(seconds(10), mf_usec(123)), mf_usec(123));
+  w.advance_to(seconds(20));
+  EXPECT_FALSE(w.runnable());
+  EXPECT_EQ(w.total_consumed(), mf_usec(123));
+}
+
+TEST(GatedBusyLoopTest, ReactivatesOnMultiStepProfile) {
+  GatedBusyLoop w{LoadProfile{{{seconds(1), 1.0},
+                               {seconds(2), 0.0},
+                               {seconds(3), 1.0},
+                               {seconds(4), 0.0}}}};
+  w.advance_to(seconds(1));
+  EXPECT_TRUE(w.runnable());
+  w.advance_to(seconds(2));
+  EXPECT_FALSE(w.runnable());
+  w.advance_to(seconds(3));
+  EXPECT_TRUE(w.runnable());
+  w.advance_to(seconds(5));
+  EXPECT_FALSE(w.runnable());
+}
+
+}  // namespace
+}  // namespace pas::wl

@@ -1,0 +1,131 @@
+#include "workload/web_app.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::wl {
+namespace {
+
+using common::mf_usec;
+using common::msec;
+using common::seconds;
+using common::SimTime;
+using common::Work;
+
+WebAppConfig deterministic_config() {
+  WebAppConfig c;
+  c.poisson = false;
+  c.cost_jitter = 0.0;
+  c.request_cost = mf_usec(10'000);  // 10 ms per request
+  return c;
+}
+
+TEST(WebAppTest, RateForDemand) {
+  // 20 % of the processor with 10 ms requests = 20 requests/second.
+  EXPECT_DOUBLE_EQ(WebApp::rate_for_demand(20.0, mf_usec(10'000)), 20.0);
+  EXPECT_DOUBLE_EQ(WebApp::rate_for_demand(100.0, mf_usec(10'000)), 100.0);
+  EXPECT_DOUBLE_EQ(WebApp::rate_for_demand(50.0, mf_usec(5'000)), 100.0);
+}
+
+TEST(WebAppTest, DeterministicArrivalCount) {
+  WebApp app{LoadProfile::constant(10.0), deterministic_config()};
+  app.advance_to(seconds(10));
+  // 10 req/s for 10 s; off-by-one at the boundary is acceptable.
+  EXPECT_NEAR(static_cast<double>(app.arrived()), 100.0, 1.0);
+}
+
+TEST(WebAppTest, PoissonArrivalRateConverges) {
+  WebAppConfig c = deterministic_config();
+  c.poisson = true;
+  c.seed = 99;
+  WebApp app{LoadProfile::constant(50.0), c};
+  app.advance_to(seconds(200));
+  EXPECT_NEAR(static_cast<double>(app.arrived()), 10'000.0, 300.0);
+}
+
+TEST(WebAppTest, NotRunnableWithoutArrivals) {
+  WebApp app{LoadProfile::pulse(seconds(10), seconds(20), 10.0), deterministic_config()};
+  app.advance_to(seconds(5));
+  EXPECT_FALSE(app.runnable());
+  app.advance_to(seconds(11));
+  EXPECT_TRUE(app.runnable());
+}
+
+TEST(WebAppTest, ArrivalsStopAfterPulse) {
+  WebApp app{LoadProfile::pulse(seconds(1), seconds(2), 10.0), deterministic_config()};
+  app.advance_to(seconds(100));
+  const auto arrived = app.arrived();
+  EXPECT_NEAR(static_cast<double>(arrived), 10.0, 1.0);
+  app.advance_to(seconds(200));
+  EXPECT_EQ(app.arrived(), arrived);
+}
+
+TEST(WebAppTest, ConsumeCompletesRequests) {
+  WebApp app{LoadProfile::constant(10.0), deterministic_config()};
+  app.advance_to(seconds(1));  // ~10 requests queued
+  const auto queued = app.queue_depth();
+  ASSERT_GT(queued, 0u);
+  const Work done = app.consume(seconds(1), mf_usec(25'000));
+  EXPECT_DOUBLE_EQ(done.mfus(), 25'000.0);  // 2.5 requests' worth
+  EXPECT_EQ(app.completed(), 2u);
+  EXPECT_EQ(app.queue_depth(), queued - 2);  // half-done head still queued
+}
+
+TEST(WebAppTest, ConsumeReturnsLessWhenQueueDrains) {
+  WebApp app{LoadProfile::constant(1.0), deterministic_config()};
+  app.advance_to(seconds(1));  // exactly 1 request
+  const Work done = app.consume(seconds(1), mf_usec(100'000));
+  EXPECT_NEAR(done.mfus(), 10'000.0, 1.0);
+  EXPECT_FALSE(app.runnable());
+}
+
+TEST(WebAppTest, LatencyMeasured) {
+  WebApp app{LoadProfile::constant(10.0), deterministic_config()};
+  app.advance_to(seconds(2));
+  (void)app.consume(seconds(2), mf_usec(1'000'000));
+  ASSERT_GT(app.latency_sec().count(), 0u);
+  // The oldest request waited ~2 s; the mean should be around 1 s.
+  EXPECT_GT(app.latency_sec().mean(), 0.3);
+  EXPECT_LT(app.latency_sec().mean(), 2.5);
+}
+
+TEST(WebAppTest, QueueCapacityDrops) {
+  WebAppConfig c = deterministic_config();
+  c.queue_capacity = 5;
+  WebApp app{LoadProfile::constant(100.0), c};
+  app.advance_to(seconds(1));  // 100 arrivals into a 5-slot queue
+  EXPECT_EQ(app.queue_depth(), 5u);
+  EXPECT_GT(app.dropped(), 80u);
+  EXPECT_EQ(app.arrived(), app.dropped() + 5u);
+}
+
+TEST(WebAppTest, DemandAccounting) {
+  WebApp app{LoadProfile::constant(10.0), deterministic_config()};
+  app.advance_to(seconds(10));
+  EXPECT_NEAR(app.demand_generated().mfus(), 100.0 * 10'000.0, 20'000.0);
+  EXPECT_DOUBLE_EQ(app.work_served().mfus(), 0.0);
+  (void)app.consume(seconds(10), mf_usec(50'000));
+  EXPECT_DOUBLE_EQ(app.work_served().mfus(), 50'000.0);
+}
+
+TEST(WebAppTest, CostJitterPreservesMeanDemand) {
+  WebAppConfig c;
+  c.poisson = false;
+  c.cost_jitter = 0.2;
+  c.seed = 5;
+  WebApp app{LoadProfile::constant(100.0), c};
+  app.advance_to(seconds(100));
+  // 10k requests at mean 10 ms -> ~100 mf-seconds of demand.
+  EXPECT_NEAR(app.demand_generated().mf_seconds(), 100.0, 5.0);
+}
+
+TEST(WebAppTest, RateChangeMidRunRespected) {
+  WebApp app{LoadProfile{{{SimTime{}, 10.0}, {seconds(10), 50.0}}}, deterministic_config()};
+  app.advance_to(seconds(10));
+  const auto phase1 = app.arrived();
+  EXPECT_NEAR(static_cast<double>(phase1), 100.0, 2.0);
+  app.advance_to(seconds(20));
+  EXPECT_NEAR(static_cast<double>(app.arrived() - phase1), 500.0, 3.0);
+}
+
+}  // namespace
+}  // namespace pas::wl
