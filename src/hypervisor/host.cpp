@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <span>
 #include <stdexcept>
 
 namespace pas::hv {
@@ -59,6 +60,20 @@ bool Host::vm_saturated_last_window(common::VmId id) const {
 void Host::install_periodic_tasks() {
   view_ = HostView{&cpufreq_, &monitor_, scheduler_.get(), vm_ids_, initial_credits_};
   trace_ = std::make_unique<metrics::TraceRecorder>(vms_.size());
+
+  // Incremental runnable tracking: everything starts "expired" so the first
+  // quantum polls every workload.
+  wl_runnable_.assign(vms_.size(), 0);
+  wl_hint_.assign(vms_.size(), common::SimTime{});
+  wl_ran_.assign(vms_.size(), 0);
+  active_ids_.reserve(vms_.size());
+  runnable_scratch_.reserve(vms_.size());
+  active_dirty_ = true;
+
+  trace_scratch_global_.reserve(vms_.size());
+  trace_scratch_absolute_.reserve(vms_.size());
+  trace_scratch_credit_.reserve(vms_.size());
+  trace_scratch_saturated_.reserve(vms_.size());
 
   // Creation order fixes same-timestamp firing order: accounting, then the
   // monitor window close, then governor, then controller, then tracing —
@@ -122,51 +137,123 @@ void Host::controller_tick(common::SimTime now) {
 }
 
 void Host::trace_tick(common::SimTime now) {
-  metrics::TraceSample s;
-  s.t = now;
-  s.freq_mhz = cpu_.current_freq().value();
-  s.global_load_pct = monitor_.global_load_pct();
-  s.absolute_load_pct = monitor_.absolute_load_pct();
-  s.vm_global_pct.reserve(vms_.size());
-  s.vm_absolute_pct.reserve(vms_.size());
-  s.vm_credit_pct.reserve(vms_.size());
-  s.vm_saturated.reserve(vms_.size());
+  // The column scratch buffers are reused across ticks, so sampling only
+  // allocates when the recorder's own columns grow.
+  trace_scratch_global_.clear();
+  trace_scratch_absolute_.clear();
+  trace_scratch_credit_.clear();
+  trace_scratch_saturated_.clear();
   for (const auto& vm : vms_) {
-    s.vm_global_pct.push_back(monitor_.vm_global_load_pct(vm.id));
-    s.vm_absolute_pct.push_back(monitor_.vm_absolute_load_pct(vm.id));
-    s.vm_credit_pct.push_back(scheduler_->cap(vm.id));
-    s.vm_saturated.push_back(saturated_last_window_[vm.id] ? 1.0 : 0.0);
+    trace_scratch_global_.push_back(monitor_.vm_global_load_pct(vm.id));
+    trace_scratch_absolute_.push_back(monitor_.vm_absolute_load_pct(vm.id));
+    trace_scratch_credit_.push_back(scheduler_->cap(vm.id));
+    trace_scratch_saturated_.push_back(saturated_last_window_[vm.id] ? 1.0 : 0.0);
   }
-  trace_->add(std::move(s));
+  trace_->append(now, cpu_.current_freq().value(), monitor_.global_load_pct(),
+                 monitor_.absolute_load_pct(), trace_scratch_global_,
+                 trace_scratch_absolute_, trace_scratch_credit_,
+                 trace_scratch_saturated_);
+}
+
+void Host::refresh_workloads(bool advance_runnable) {
+  if (!cfg_.event_driven_fast_path) {
+    // Reference mode: poll every workload every quantum — the pre-refactor
+    // loop's cost model (and trivially its semantics).
+    for (auto& vm : vms_) {
+      vm.workload->advance_to(now_);
+      const bool runnable = vm.workload->runnable();
+      if (runnable != static_cast<bool>(wl_runnable_[vm.id])) {
+        wl_runnable_[vm.id] = runnable ? 1 : 0;
+        active_dirty_ = true;
+      }
+      vm.blocked_this_slice = false;
+    }
+  } else {
+    for (auto& vm : vms_) {
+      const auto id = vm.id;
+      if (wl_ran_[id] || wl_hint_[id] <= now_) {
+        // The VM was consumed last quantum, or its transition hint expired:
+        // re-poll runnable-ness and refresh the hint.
+        vm.workload->advance_to(now_);
+        const bool runnable = vm.workload->runnable();
+        if (runnable != static_cast<bool>(wl_runnable_[id])) {
+          wl_runnable_[id] = runnable ? 1 : 0;
+          active_dirty_ = true;
+        }
+        wl_hint_[id] = vm.workload->next_transition_time(now_);
+        wl_ran_[id] = 0;
+      } else if (advance_runnable && wl_runnable_[id]) {
+        // Still runnable (the hint guarantees no self-transition yet), but
+        // it may be scheduled this quantum, so arrivals must be delivered.
+        vm.workload->advance_to(now_);
+      }
+      // Idle VMs with an unexpired hint are left untouched entirely — the
+      // advance_to coarsening invariant (workload.hpp) makes the deferred
+      // catch-up call indistinguishable.
+      vm.blocked_this_slice = false;
+    }
+  }
+  if (active_dirty_) {
+    active_ids_.clear();
+    for (const auto& vm : vms_)
+      if (wl_runnable_[vm.id]) active_ids_.push_back(vm.id);
+    active_dirty_ = false;
+  }
+}
+
+common::SimTime Host::earliest_transition_hint() const {
+  common::SimTime earliest = wl::kNoTransition;
+  for (const common::SimTime h : wl_hint_) earliest = std::min(earliest, h);
+  return earliest;
+}
+
+common::SimTime Host::next_poll_boundary(common::SimTime hint) const {
+  const std::int64_t k =
+      (hint.us() - now_.us() + cfg_.quantum.us() - 1) / cfg_.quantum.us();
+  return now_ + cfg_.quantum * k;
 }
 
 void Host::run_quantum(common::SimTime slice_end) {
   const double ratio = cpu_.current_ratio();
+  refresh_workloads();
 
-  for (auto& vm : vms_) {
-    vm.workload->advance_to(now_);
-    vm.blocked_this_slice = false;
-  }
-
+  idle_tail_ = IdleTail::kNone;
+  bool any_blocked = false;
   common::SimTime t = now_;
   while (t < slice_end) {
-    runnable_scratch_.clear();
-    for (auto& vm : vms_) {
-      if (!vm.blocked_this_slice && vm.workload->runnable())
-        runnable_scratch_.push_back(vm.id);
+    // The schedulable set is the active (runnable) set minus VMs that
+    // blocked earlier in this slice; the copy is only taken once a block
+    // actually happens. Reference mode keeps the pre-refactor behaviour:
+    // re-poll every workload and rebuild the set on every iteration.
+    std::span<const common::VmId> runnable = active_ids_;
+    if (!cfg_.event_driven_fast_path) {
+      runnable_scratch_.clear();
+      for (auto& vm : vms_)
+        if (!vm.blocked_this_slice && vm.workload->runnable())
+          runnable_scratch_.push_back(vm.id);
+      runnable = runnable_scratch_;
+    } else if (any_blocked) {
+      runnable_scratch_.clear();
+      for (const common::VmId id : active_ids_)
+        if (!vms_[id].blocked_this_slice) runnable_scratch_.push_back(id);
+      runnable = runnable_scratch_;
     }
-    if (runnable_scratch_.empty()) break;
+    if (runnable.empty()) {
+      idle_tail_ = IdleTail::kNoRunnable;
+      break;
+    }
 
-    const common::VmId chosen = scheduler_->pick(t, runnable_scratch_);
+    const common::VmId chosen = scheduler_->pick(t, runnable);
     const common::SimTime span = slice_end - t;
     if (chosen == common::kInvalidVm) {
       // Fixed-credit semantics: runnable VMs exist but all are over cap.
       // They keep "wanting" the CPU while it idles.
-      for (common::VmId r : runnable_scratch_) vms_[r].window_wanting += span;
+      for (common::VmId r : runnable) vms_[r].window_wanting += span;
+      idle_tail_ = IdleTail::kOverCap;
+      idle_break_set_.assign(runnable.begin(), runnable.end());
       break;
     }
-    assert(std::find(runnable_scratch_.begin(), runnable_scratch_.end(), chosen) !=
-           runnable_scratch_.end());
+    assert(std::find(runnable.begin(), runnable.end(), chosen) != runnable.end());
 
     Vm& v = vms_[chosen];
     // Extra-time grants may convert to guest work at reduced efficiency;
@@ -175,11 +262,13 @@ void Host::run_quantum(common::SimTime slice_end) {
     assert(eff > 0.0 && eff <= 1.0);
     const common::Work budget = cpu_.work_for(span) * eff;
     const common::Work done = v.workload->consume(t, budget);
+    wl_ran_[chosen] = 1;  // consume may have changed runnable-ness: re-poll
     common::SimTime busy;
     if (done >= budget) {
       busy = span;
     } else {
       v.blocked_this_slice = true;
+      any_blocked = true;
       busy = std::min(cpu_.time_for(common::Work{done.mfus() / eff}), span);
     }
     if (busy.us() == 0) {
@@ -192,7 +281,7 @@ void Host::run_quantum(common::SimTime slice_end) {
     v.total_busy += busy;
     v.total_work += done;
     energy_.record(busy, ratio, busy);
-    for (common::VmId r : runnable_scratch_) vms_[r].window_wanting += busy;
+    for (common::VmId r : runnable) vms_[r].window_wanting += busy;
     t += busy;
   }
 
@@ -203,18 +292,97 @@ void Host::run_quantum(common::SimTime slice_end) {
   }
 }
 
+void Host::skip_idle_time(common::SimTime until) {
+  // The quantum that just ended at now_ finished with no pickable VM. If
+  // that is still true at this boundary, nothing can happen until (a) the
+  // next queue event (accounting refill, window close, governor/controller
+  // tick, trace sample) — the only things that change credits or frequency
+  // — (b) a workload self-transition, which the slow-stepped loop would
+  // only observe at the first quantum boundary at or after it, or (c)
+  // `until`. Jump there in one step.
+  //
+  // "Still true" is validated by re-polling the workloads exactly as the
+  // next quantum would: an empty active set extends a no-runnable tail; an
+  // unchanged active set extends an over-cap tail (the scheduler already
+  // rejected precisely that set, and no charge/account ran since, so
+  // re-asking it would both return the same answer and leave the same
+  // state — the pick idempotence contract, scheduler.hpp).
+  if (idle_tail_ == IdleTail::kOverCap && !scheduler_->rejection_is_stable())
+    return;  // the rejection may expire with bare time (SEDF period refill)
+  refresh_workloads(/*advance_runnable=*/false);
+  if (idle_tail_ == IdleTail::kNoRunnable) {
+    if (!active_ids_.empty()) return;
+  } else {
+    if (active_ids_ != idle_break_set_) return;
+  }
+
+  const common::SimTime hint = earliest_transition_hint();
+
+  if (idle_tail_ == IdleTail::kOverCap) {
+    // Queue events change credits (accounting refill, controller set_cap),
+    // so an over-cap skip must stop at the next one.
+    common::SimTime target = std::min(until, events_.next_event_time(until));
+    if (hint < target) {
+      if (hint <= now_) return;  // an "unknown" hint: re-poll every quantum
+      target = std::min(target, next_poll_boundary(hint));
+    }
+    if (target <= now_) return;
+    const common::SimTime span = target - now_;
+    // Same per-quantum accrual the slow loop applies: over-cap VMs want the
+    // CPU for every skipped instant. The hint bound guarantees the active
+    // set is constant across the whole span.
+    for (common::VmId r : active_ids_) vms_[r].window_wanting += span;
+    idle_total_ += span;
+    energy_.record(span, cpu_.current_ratio(), common::SimTime{});
+    now_ = target;
+    return;
+  }
+
+  // No-runnable skip: queue events cannot make a workload runnable (they
+  // touch credits, frequency, monitor and trace — never workload state), so
+  // the skip may cross them. Hop event to event so each idle segment is
+  // accounted at the frequency then in force (a governor tick mid-skip
+  // changes the idle power draw), firing handlers at their exact times in
+  // the exact order the slow loop would. The quantum grid re-anchors at
+  // every event crossed — an off-grid event cuts the reference loop's
+  // slice short and later boundaries shift with it — so the hint wake-up
+  // boundary is recomputed per segment from the segment's own start.
+  while (now_ < until) {
+    const common::SimTime seg_end = std::min(until, events_.next_event_time(until));
+    common::SimTime stop = seg_end;
+    if (hint < seg_end) {
+      if (hint <= now_) break;  // the slow loop polls at this very boundary
+      stop = std::min(stop, next_poll_boundary(hint));
+    }
+    if (stop > now_) {
+      const common::SimTime span = stop - now_;
+      idle_total_ += span;
+      energy_.record(span, cpu_.current_ratio(), common::SimTime{});
+      now_ = stop;
+    }
+    if (stop < seg_end) break;  // woke for the hint: re-poll in run_until
+    events_.run_until(now_);
+  }
+}
+
 void Host::run_until(common::SimTime until) {
   if (!tasks_installed_) {
     install_periodic_tasks();
     tasks_installed_ = true;
   }
+  if (cfg_.trace_stride.us() > 0 && until > now_)
+    trace_->reserve(static_cast<std::size_t>((until - now_) / cfg_.trace_stride) + 1);
   while (now_ < until) {
     events_.run_until(now_);
-    common::SimTime next_event = events_.next_event_time(until);
-    if (next_event <= now_) next_event = until;  // stale top entry already fired
+    const common::SimTime next_event = events_.next_event_time(until);
+    // The queue removes cancelled entries eagerly, so the earliest pending
+    // event is always strictly in the future here.
+    assert(next_event > now_ || events_.empty());
     const common::SimTime slice_end = std::min({now_ + cfg_.quantum, until, next_event});
     run_quantum(slice_end);
     now_ = slice_end;
+    if (cfg_.event_driven_fast_path && idle_tail_ != IdleTail::kNone && now_ < until)
+      skip_idle_time(until);
   }
   events_.run_until(now_);
 }

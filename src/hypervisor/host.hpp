@@ -8,10 +8,22 @@
 // sampling, controller ticks, trace sampling — runs off a discrete-event
 // queue interleaved with the quantum loop.
 //
+// Fast path: when a quantum ends with the CPU idle and no VM picked (no
+// runnable VM, or every runnable VM over its cap), the host jumps simulated
+// time in one step to the next instant anything can change — the earliest
+// queue event, `until`, or the first quantum boundary at or after a
+// workload's self-transition hint (see Workload::next_transition_time) —
+// instead of idling quantum by quantum. The runnable set is maintained
+// incrementally from those hints rather than re-polled per quantum. Both
+// optimizations reproduce the slow-stepped loop exactly (same event order,
+// same traces); HostConfig::event_driven_fast_path turns them off for A/B
+// reference runs.
+//
 // Determinism: given the same configuration and workload seeds, a run is
 // bit-for-bit reproducible.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -49,6 +61,10 @@ struct HostConfig {
   /// cpu::CpuModel::set_speed_override; used by calibration's turbo
   /// machines).
   cpu::CpuModel::SpeedFn speed_override;
+  /// Event-driven fast path (see file header). Produces identical
+  /// simulation results; disable only for reference slow-stepped runs
+  /// (regression tests, perf baselines).
+  bool event_driven_fast_path = true;
 };
 
 class Host {
@@ -95,8 +111,31 @@ class Host {
   [[nodiscard]] bool vm_saturated_last_window(common::VmId id) const;
 
  private:
+  /// How the last quantum's scheduling loop ended; drives the fast path.
+  /// A quantum whose tail found no pickable VM leaves the host in a state
+  /// that cannot change until the next event or workload transition — the
+  /// license to skip time.
+  enum class IdleTail {
+    kNone,        // the slice was filled with picked work
+    kNoRunnable,  // the loop stopped because nothing was runnable
+    kOverCap,     // runnable VMs remained but every one was over its cap
+  };
+
   void install_periodic_tasks();
   void run_quantum(common::SimTime slice_end);
+  /// Re-polls workloads whose transition hint expired (or that just ran)
+  /// and rebuilds `active_ids_` when membership changed. `advance_runnable`
+  /// additionally advances still-runnable workloads to now_ — required
+  /// before a quantum that may consume them, unnecessary for a pure
+  /// membership check (the skip validation).
+  void refresh_workloads(bool advance_runnable = true);
+  /// Earliest instant any workload may change runnable-state on its own.
+  [[nodiscard]] common::SimTime earliest_transition_hint() const;
+  /// First quantum boundary on the grid anchored at now_ at or after
+  /// `hint` — where the slow-stepped loop would next poll the workloads.
+  [[nodiscard]] common::SimTime next_poll_boundary(common::SimTime hint) const;
+  /// Jumps `now_` across provably idle quanta (fast path).
+  void skip_idle_time(common::SimTime until);
   void close_monitor_window(common::SimTime now);
   void governor_tick(common::SimTime now);
   void controller_tick(common::SimTime now);
@@ -129,8 +168,27 @@ class Host {
   common::SimTime gov_last_sample_time_{};
   common::SimTime gov_last_cum_busy_{};
 
-  // Scratch for the quantum loop.
+  // --- incremental runnable tracking (fast path) ---
+  // Cached runnable() per VM, the workload's next self-transition hint, and
+  // a "consumed last quantum" flag forcing a re-poll.
+  std::vector<std::uint8_t> wl_runnable_;
+  std::vector<common::SimTime> wl_hint_;
+  std::vector<std::uint8_t> wl_ran_;
+  std::vector<common::VmId> active_ids_;  // runnable VMs, ascending id
+  bool active_dirty_ = true;
+
+  // Set by run_quantum: how its scheduling loop ended, and — for an
+  // over-cap tail — the exact runnable set the scheduler rejected (the
+  // skip is only valid while that set is unchanged).
+  IdleTail idle_tail_ = IdleTail::kNone;
+  std::vector<common::VmId> idle_break_set_;
+
+  // Scratch for the quantum loop (active minus blocked-this-slice).
   std::vector<common::VmId> runnable_scratch_;
+
+  // Scratch for trace_tick (reused; keeps sampling allocation-free).
+  std::vector<double> trace_scratch_global_, trace_scratch_absolute_,
+      trace_scratch_credit_, trace_scratch_saturated_;
 };
 
 }  // namespace pas::hv

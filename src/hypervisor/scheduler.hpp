@@ -34,6 +34,13 @@ class Scheduler {
   /// Chooses the VM to run at `now` from `runnable` (never empty), or
   /// common::kInvalidVm to leave the CPU idle (a fixed-credit scheduler
   /// idles when every runnable VM has exhausted its credit).
+  ///
+  /// Idempotence contract (the host's fast path relies on it): repeating
+  /// pick with the same runnable set at later instants, with no
+  /// charge()/account()/set_cap() in between, must return the same choice
+  /// and leave observable scheduler state as if every repeat had been
+  /// made. All lazily time-refreshed bookkeeping (SEDF period rollover)
+  /// must therefore be a pure function of `now`, not of the call count.
   [[nodiscard]] virtual common::VmId pick(common::SimTime now,
                                           std::span<const common::VmId> runnable) = 0;
 
@@ -58,6 +65,14 @@ class Scheduler {
   /// True if unused slices are redistributed to other VMs (variable-credit
   /// / work-conserving semantics).
   [[nodiscard]] virtual bool work_conserving() const = 0;
+
+  /// True if a runnable set this scheduler just rejected (pick returned
+  /// kInvalidVm) stays rejected until the next charge()/account()/
+  /// set_cap() call — i.e. eligibility never revives with bare time. Lets
+  /// the host skip the whole idle span in one step. Schedulers with lazily
+  /// time-refreshed eligibility (SEDF's per-VM period refill) must return
+  /// false; the host then idles such spans quantum by quantum.
+  [[nodiscard]] virtual bool rejection_is_stable() const { return true; }
 
   /// Fraction of the *upcoming* run (for the VM just returned by pick())
   /// that converts into useful guest work, in (0,1]. 1.0 for guaranteed

@@ -4,9 +4,18 @@
 // Each sample row holds, per VM, the global and absolute load of the last
 // monitor window, plus the current processor frequency — i.e. exactly the
 // series in Figs. 2–10.
+//
+// Storage is struct-of-arrays: one flat preallocated column per scalar and
+// one `rows * vm_count` column per per-VM series, so recording a sample on
+// the simulation hot path performs no per-row vector allocations and
+// column extraction is a straight copy. Rows are exposed through
+// `SampleView` (spans into the columns), which reads like the old
+// row-struct API.
 #pragma once
 
 #include <cstddef>
+#include <iterator>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -15,6 +24,8 @@
 
 namespace pas::metrics {
 
+/// Assembled row, used to feed add() (tests/tools). The recorder itself
+/// stores columns, not these.
 struct TraceSample {
   common::SimTime t;
   double freq_mhz = 0.0;
@@ -33,14 +44,80 @@ class TraceRecorder {
  public:
   explicit TraceRecorder(std::size_t vm_count) : vm_count_(vm_count) {}
 
-  void add(TraceSample sample) { samples_.push_back(std::move(sample)); }
+  /// Appends one row from column data (the host's allocation-free path).
+  /// Every span must have exactly vm_count() elements.
+  void append(common::SimTime t, double freq_mhz, double global_load_pct,
+              double absolute_load_pct, std::span<const double> vm_global,
+              std::span<const double> vm_absolute, std::span<const double> vm_credit,
+              std::span<const double> vm_saturated);
 
-  [[nodiscard]] const std::vector<TraceSample>& samples() const { return samples_; }
+  /// Row-struct convenience wrapper over append().
+  void add(const TraceSample& sample);
+
+  /// Reserves storage for `rows` further samples (optional; columns grow
+  /// geometrically regardless).
+  void reserve(std::size_t rows);
+
+  /// Read-only view of one recorded row; spans point into the recorder's
+  /// columns and are invalidated by the next append.
+  struct SampleView {
+    common::SimTime t;
+    double freq_mhz = 0.0;
+    double global_load_pct = 0.0;
+    double absolute_load_pct = 0.0;
+    std::span<const double> vm_global_pct;
+    std::span<const double> vm_absolute_pct;
+    std::span<const double> vm_credit_pct;
+    std::span<const double> vm_saturated;
+  };
+
+  [[nodiscard]] SampleView sample(std::size_t row) const;
+
+  class SampleIterator {
+   public:
+    using value_type = SampleView;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::input_iterator_tag;
+
+    SampleIterator(const TraceRecorder* rec, std::size_t row) : rec_(rec), row_(row) {}
+    SampleView operator*() const { return rec_->sample(row_); }
+    SampleIterator& operator++() {
+      ++row_;
+      return *this;
+    }
+    bool operator==(const SampleIterator& other) const { return row_ == other.row_; }
+    bool operator!=(const SampleIterator& other) const { return row_ != other.row_; }
+
+   private:
+    const TraceRecorder* rec_;
+    std::size_t row_;
+  };
+
+  /// Lightweight range over all rows; behaves like the old
+  /// `const std::vector<TraceSample>&` return (size/front/back/[]/
+  /// iteration), but materializes views on demand.
+  class SampleRange {
+   public:
+    explicit SampleRange(const TraceRecorder* rec) : rec_(rec) {}
+    [[nodiscard]] std::size_t size() const { return rec_->size(); }
+    [[nodiscard]] bool empty() const { return rec_->size() == 0; }
+    [[nodiscard]] SampleView operator[](std::size_t row) const { return rec_->sample(row); }
+    [[nodiscard]] SampleView front() const { return rec_->sample(0); }
+    [[nodiscard]] SampleView back() const { return rec_->sample(rec_->size() - 1); }
+    [[nodiscard]] SampleIterator begin() const { return {rec_, 0}; }
+    [[nodiscard]] SampleIterator end() const { return {rec_, rec_->size()}; }
+
+   private:
+    const TraceRecorder* rec_;
+  };
+
+  [[nodiscard]] SampleRange samples() const { return SampleRange{this}; }
+  [[nodiscard]] std::size_t size() const { return t_.size(); }
   [[nodiscard]] std::size_t vm_count() const { return vm_count_; }
-  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] bool empty() const { return t_.empty(); }
 
   /// Extracts one column as a vector (for charts/summaries).
-  [[nodiscard]] std::vector<double> series_freq() const;
+  [[nodiscard]] std::vector<double> series_freq() const { return freq_; }
   [[nodiscard]] std::vector<double> series_vm_global(common::VmId vm) const;
   [[nodiscard]] std::vector<double> series_vm_absolute(common::VmId vm) const;
   [[nodiscard]] std::vector<double> series_vm_credit(common::VmId vm) const;
@@ -52,8 +129,15 @@ class TraceRecorder {
   void write_csv(const std::string& path) const;
 
  private:
+  [[nodiscard]] std::vector<double> extract(const std::vector<double>& column,
+                                            common::VmId vm) const;
+
   std::size_t vm_count_;
-  std::vector<TraceSample> samples_;
+  // Scalar columns (one element per row).
+  std::vector<common::SimTime> t_;
+  std::vector<double> freq_, global_, absolute_;
+  // Per-VM columns, row-major: element row * vm_count_ + vm.
+  std::vector<double> vm_global_, vm_absolute_, vm_credit_, vm_saturated_;
 };
 
 }  // namespace pas::metrics

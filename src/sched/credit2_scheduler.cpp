@@ -31,17 +31,19 @@ void Credit2Scheduler::add_vm(common::VmId id, const hv::VmConfig& config) {
   e.cap_pct = config.credit;
   e.balance_us = refill_us(e);
   vms_.push_back(e);
+  runnable_stamp_.push_back(0);
 }
 
 common::VmId Credit2Scheduler::pick(common::SimTime /*now*/,
                                     std::span<const common::VmId> runnable) {
   assert(!runnable.empty());
   // Sleep tracking: VMs absent from the runnable set lose their runnable
-  // mark, so their next appearance is a wakeup and gets clamped.
+  // mark, so their next appearance is a wakeup and gets clamped. Presence
+  // is marked with an epoch stamp to avoid a linear search per VM.
+  ++stamp_epoch_;
+  for (const common::VmId id : runnable) runnable_stamp_.at(id) = stamp_epoch_;
   for (std::size_t i = 0; i < vms_.size(); ++i) {
-    const bool present = std::find(runnable.begin(), runnable.end(),
-                                   static_cast<common::VmId>(i)) != runnable.end();
-    if (!present) vms_[i].was_runnable = false;
+    if (runnable_stamp_[i] != stamp_epoch_) vms_[i].was_runnable = false;
   }
   // Wakeup clamp: a VM that just became runnable must not replay idle time.
   double min_vrt = 0.0;

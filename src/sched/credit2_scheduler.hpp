@@ -73,6 +73,11 @@ class Credit2Scheduler final : public hv::Scheduler {
 
   Credit2SchedulerConfig cfg_;
   std::vector<Entry> vms_;
+  // Presence stamps for pick()'s sleep tracking: VMs whose stamp is not the
+  // current epoch are absent from the runnable set. O(vms + runnable) per
+  // pick instead of one linear search per VM.
+  std::vector<std::uint64_t> runnable_stamp_;
+  std::uint64_t stamp_epoch_ = 0;
 };
 
 }  // namespace pas::sched

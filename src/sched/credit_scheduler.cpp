@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <functional>
 #include <stdexcept>
 
 namespace pas::sched {
@@ -14,15 +15,39 @@ CreditScheduler::CreditScheduler(CreditSchedulerConfig config) : cfg_(config) {
     throw std::invalid_argument("CreditScheduler: burst_periods must be positive");
 }
 
-std::int64_t CreditScheduler::refill_us(const Entry& e) const {
-  return static_cast<std::int64_t>(
+void CreditScheduler::recompute_refill(Entry& e) const {
+  e.refill_us = static_cast<std::int64_t>(
       std::llround(e.cap_pct / 100.0 * static_cast<double>(cfg_.accounting_period.us())));
-}
-
-std::int64_t CreditScheduler::burst_limit_us(const Entry& e) const {
-  return static_cast<std::int64_t>(std::llround(
+  e.burst_us = static_cast<std::int64_t>(std::llround(
       cfg_.burst_periods * e.cap_pct / 100.0 *
       static_cast<double>(cfg_.accounting_period.us())));
+}
+
+void CreditScheduler::rebuild_tiers() {
+  tier_prios_.clear();
+  for (const Entry& e : vms_) tier_prios_.push_back(e.priority);
+  std::sort(tier_prios_.begin(), tier_prios_.end(), std::greater<>());
+  tier_prios_.erase(std::unique(tier_prios_.begin(), tier_prios_.end()),
+                    tier_prios_.end());
+  under_per_tier_.assign(tier_prios_.size(), 0);
+  for (Entry& e : vms_) {
+    e.tier = static_cast<std::size_t>(
+        std::lower_bound(tier_prios_.begin(), tier_prios_.end(), e.priority,
+                         std::greater<>()) -
+        tier_prios_.begin());
+    e.counted_under = is_under(e);
+    if (e.counted_under) ++under_per_tier_[e.tier];
+  }
+}
+
+void CreditScheduler::update_under(Entry& e) {
+  const bool under = is_under(e);
+  if (under == e.counted_under) return;
+  if (under)
+    ++under_per_tier_[e.tier];
+  else
+    --under_per_tier_[e.tier];
+  e.counted_under = under;
 }
 
 void CreditScheduler::add_vm(common::VmId id, const hv::VmConfig& config) {
@@ -33,62 +58,52 @@ void CreditScheduler::add_vm(common::VmId id, const hv::VmConfig& config) {
   Entry e;
   e.cap_pct = config.credit;
   e.priority = config.priority;
-  vms_.push_back(e);
+  recompute_refill(e);
   // Start with one refill so a VM can run before the first accounting tick.
-  vms_.back().balance_us = refill_us(vms_.back());
+  e.balance_us = e.refill_us;
+  vms_.push_back(e);
+  rebuild_tiers();
 }
 
 common::VmId CreditScheduler::pick(common::SimTime /*now*/,
                                    std::span<const common::VmId> runnable) {
   assert(!runnable.empty());
-  // Pass 1 (UNDER): highest priority VM holding positive balance;
-  // round-robin within a priority tier via the rotating cursor.
+  const std::size_t cursor = rr_cursor_ % vms_.size();  // one modulo per pick
+  // Pass 1 (UNDER): highest-priority VM holding positive balance,
+  // round-robin within a tier. The incrementally maintained per-tier
+  // under-credit counts let the pass skip exhausted tiers without touching
+  // the runnable list, so cost is O(tiers holding credit) scans instead of
+  // a full pass with modulo arithmetic per candidate.
   common::VmId best = common::kInvalidVm;
-  int best_prio = 0;
-  std::size_t best_rank = 0;
-  const std::size_t n = vms_.size();
-  for (const common::VmId id : runnable) {
-    const Entry& e = vms_.at(id);
-    const bool under = e.cap_pct > 0.0 && e.balance_us > 0;
-    if (!under) continue;
-    // Rank = distance from the cursor; smaller rank wins inside a tier.
-    const std::size_t rank = (id + n - rr_cursor_ % n) % n;
-    if (best == common::kInvalidVm || e.priority > best_prio ||
-        (e.priority == best_prio && rank < best_rank)) {
-      best = id;
-      best_prio = e.priority;
-      best_rank = rank;
-    }
+  for (std::size_t tier = 0; tier < tier_prios_.size(); ++tier) {
+    if (under_per_tier_[tier] == 0) continue;
+    best = scan_best(runnable, cursor,
+                     [tier](const Entry& e) { return e.tier == tier && is_under(e); });
+    if (best != common::kInvalidVm) break;  // higher tiers strictly preempt
   }
   // Pass 2 (OVER): only null-credit VMs may soak up slack.
   if (best == common::kInvalidVm) {
-    for (const common::VmId id : runnable) {
-      const Entry& e = vms_.at(id);
-      if (e.cap_pct > 0.0) continue;
-      const std::size_t rank = (id + n - rr_cursor_ % n) % n;
-      if (best == common::kInvalidVm || e.priority > best_prio ||
-          (e.priority == best_prio && rank < best_rank)) {
-        best = id;
-        best_prio = e.priority;
-        best_rank = rank;
-      }
-    }
+    best = scan_best(runnable, cursor,
+                     [](const Entry& e) { return e.cap_pct <= 0.0; });
   }
   if (best != common::kInvalidVm) rr_cursor_ = best + 1;
   return best;
 }
 
 void CreditScheduler::charge(common::VmId vm, common::SimTime busy) {
-  vms_.at(vm).balance_us -= busy.us();
+  Entry& e = vms_.at(vm);
+  e.balance_us -= busy.us();
+  update_under(e);
 }
 
 void CreditScheduler::account(common::SimTime /*now*/) {
   for (auto& e : vms_) {
     if (e.cap_pct <= 0.0) {
       e.balance_us = 0;  // null credit: runs only in the OVER pass
-      continue;
+    } else {
+      e.balance_us = std::min(e.balance_us + e.refill_us, e.burst_us);
     }
-    e.balance_us = std::min(e.balance_us + refill_us(e), burst_limit_us(e));
+    update_under(e);
   }
 }
 
@@ -96,9 +111,11 @@ void CreditScheduler::set_cap(common::VmId vm, common::Percent cap_pct) {
   if (cap_pct < 0.0) throw std::invalid_argument("CreditScheduler: negative cap");
   Entry& e = vms_.at(vm);
   e.cap_pct = cap_pct;
+  recompute_refill(e);
   // Clamp an existing hoard to the new burst limit so a cap *reduction*
   // (frequency went up) takes effect within one accounting period.
-  e.balance_us = std::min(e.balance_us, burst_limit_us(e));
+  e.balance_us = std::min(e.balance_us, e.burst_us);
+  update_under(e);
 }
 
 common::Percent CreditScheduler::cap(common::VmId vm) const { return vms_.at(vm).cap_pct; }

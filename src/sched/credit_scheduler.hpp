@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "hypervisor/scheduler.hpp"
@@ -57,13 +58,54 @@ class CreditScheduler final : public hv::Scheduler {
     common::Percent cap_pct = 0.0;  // 0 = uncapped (null credit)
     int priority = 0;
     std::int64_t balance_us = 0;
+    // Cached refill/burst amounts, recomputed when the cap changes, so the
+    // per-tick accounting loop stays integer-only.
+    std::int64_t refill_us = 0;
+    std::int64_t burst_us = 0;
+    std::size_t tier = 0;        // index into tier_prios_ (highest prio = 0)
+    bool counted_under = false;  // mirrored into under_per_tier_
   };
 
-  [[nodiscard]] std::int64_t refill_us(const Entry& e) const;
-  [[nodiscard]] std::int64_t burst_limit_us(const Entry& e) const;
+  [[nodiscard]] static bool is_under(const Entry& e) {
+    return e.cap_pct > 0.0 && e.balance_us > 0;
+  }
+
+  /// Recomputes the cached refill/burst amounts from the current cap.
+  void recompute_refill(Entry& e) const;
+
+  /// Recomputes the priority-tier table and under-credit counts (add_vm).
+  void rebuild_tiers();
+  /// Re-syncs `e`'s under-credit membership after a balance/cap change.
+  void update_under(Entry& e);
+
+  /// The one rank scan shared by the UNDER and OVER passes: the eligible VM
+  /// with the highest priority, ties broken by round-robin distance from
+  /// `cursor` (already reduced modulo vm count).
+  template <typename Eligible>
+  [[nodiscard]] common::VmId scan_best(std::span<const common::VmId> runnable,
+                                       std::size_t cursor, Eligible&& eligible) const {
+    const std::size_t n = vms_.size();
+    common::VmId best = common::kInvalidVm;
+    int best_prio = 0;
+    std::size_t best_rank = 0;
+    for (const common::VmId id : runnable) {
+      const Entry& e = vms_[id];
+      if (!eligible(e)) continue;
+      const std::size_t rank = id >= cursor ? id - cursor : id + n - cursor;
+      if (best == common::kInvalidVm || e.priority > best_prio ||
+          (e.priority == best_prio && rank < best_rank)) {
+        best = id;
+        best_prio = e.priority;
+        best_rank = rank;
+      }
+    }
+    return best;
+  }
 
   CreditSchedulerConfig cfg_;
   std::vector<Entry> vms_;
+  std::vector<int> tier_prios_;                 // distinct priorities, descending
+  std::vector<std::uint32_t> under_per_tier_;   // VMs holding credit, per tier
   std::size_t rr_cursor_ = 0;  // rotates to break ties fairly
 };
 

@@ -61,11 +61,12 @@ common::VmId SedfScheduler::pick(common::SimTime now, std::span<const common::Vm
   // Extra-time pass: round-robin among extra-eligible VMs. Work-conserving:
   // the CPU never idles while anyone is runnable and extra-eligible.
   const std::size_t n = vms_.size();
+  const std::size_t cursor = rr_cursor_ % n;  // hoisted: one modulo per pick
   std::size_t best_rank = 0;
   for (const common::VmId id : runnable) {
     Entry& e = vms_.at(id);
     if (!e.extra) continue;
-    const std::size_t rank = (id + n - rr_cursor_ % n) % n;
+    const std::size_t rank = id >= cursor ? id - cursor : id + n - cursor;
     if (best == common::kInvalidVm || rank < best_rank) {
       best = id;
       best_rank = rank;

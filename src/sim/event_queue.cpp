@@ -1,61 +1,107 @@
 #include "sim/event_queue.hpp"
 
-#include <algorithm>
+#include <cassert>
 #include <utility>
 
 namespace pas::sim {
 
-EventId EventQueue::schedule(common::SimTime when, EventFn fn) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{when, id});
-  handlers_.emplace_back(id, std::move(fn));
-  ++live_;
-  return id;
+void EventQueue::place(std::size_t pos, std::uint32_t slot) {
+  heap_[pos] = slot;
+  slots_[slot].heap_pos = static_cast<std::uint32_t>(pos);
 }
 
-EventFn* EventQueue::find_handler(EventId id) {
-  const auto it = std::find_if(handlers_.begin(), handlers_.end(),
-                               [id](const auto& p) { return p.first == id; });
-  return it == handlers_.end() ? nullptr : &it->second;
-}
-
-void EventQueue::erase_handler(EventId id) {
-  const auto it = std::find_if(handlers_.begin(), handlers_.end(),
-                               [id](const auto& p) { return p.first == id; });
-  if (it != handlers_.end()) {
-    // The live-event count stays small (a handful of periodic tasks), so the
-    // swap-erase is effectively O(1).
-    *it = std::move(handlers_.back());
-    handlers_.pop_back();
+void EventQueue::sift_up(std::size_t pos) {
+  const std::uint32_t moving = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 2;
+    if (!before(moving, heap_[parent])) break;
+    place(pos, heap_[parent]);
+    pos = parent;
   }
+  place(pos, moving);
+}
+
+void EventQueue::sift_down(std::size_t pos) {
+  const std::uint32_t moving = heap_[pos];
+  const std::size_t n = heap_.size();
+  while (true) {
+    std::size_t child = 2 * pos + 1;
+    if (child >= n) break;
+    if (child + 1 < n && before(heap_[child + 1], heap_[child])) ++child;
+    if (!before(heap_[child], moving)) break;
+    place(pos, heap_[child]);
+    pos = child;
+  }
+  place(pos, moving);
+}
+
+EventId EventQueue::schedule(common::SimTime when, EventFn fn) {
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.when = when;
+  s.seq = next_seq_++;
+  s.fn = std::move(fn);
+
+  heap_.push_back(slot);
+  s.heap_pos = static_cast<std::uint32_t>(heap_.size() - 1);
+  sift_up(heap_.size() - 1);
+  return pack(slot, s.generation);
+}
+
+void EventQueue::remove_heap_entry(std::size_t pos) {
+  const std::uint32_t slot = heap_[pos];
+  const std::uint32_t last = heap_.back();
+  heap_.pop_back();
+  if (last != slot) {
+    place(pos, last);
+    // The replacement may need to move either way relative to `pos`.
+    sift_down(pos);
+    sift_up(slots_[last].heap_pos);
+  }
+  Slot& s = slots_[slot];
+  s.heap_pos = kNpos;
+  ++s.generation;
+  free_.push_back(slot);
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (find_handler(id) == nullptr) return false;
-  erase_handler(id);
-  --live_;
+  if (id == kInvalidEvent) return false;
+  const std::uint32_t slot = static_cast<std::uint32_t>(id & 0xffffffff) - 1;
+  const std::uint32_t generation = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  if (s.generation != generation || s.heap_pos == kNpos) return false;
+  s.fn.reset();
+  remove_heap_entry(s.heap_pos);
   return true;
 }
 
 void EventQueue::run_until(common::SimTime until) {
-  while (!heap_.empty() && heap_.top().when <= until) {
-    const Entry e = heap_.top();
-    heap_.pop();
-    EventFn* fn = find_handler(e.id);
-    if (fn == nullptr) continue;  // cancelled
-    EventFn handler = std::move(*fn);
-    erase_handler(e.id);
-    --live_;
-    handler(e.when);
+  while (!heap_.empty()) {
+    const std::uint32_t slot = heap_.front();
+    Slot& s = slots_[slot];
+    if (s.when > until) break;
+    const common::SimTime when = s.when;
+    // Move the callback out and retire the slot *before* invoking: the
+    // handler may schedule new events (possibly reusing this very slot) or
+    // cancel others, and the heap must already be consistent.
+    EventFn fn = std::move(s.fn);
+    s.fn.reset();
+    remove_heap_entry(0);
+    fn(when);
   }
 }
 
 common::SimTime EventQueue::next_event_time(common::SimTime fallback) const {
-  // Cancelled entries may linger at the top; we cannot pop here (const), so
-  // report their time — callers only use this as a lower bound for the next
-  // interesting instant, and a spurious early wake-up is harmless.
   if (heap_.empty()) return fallback;
-  return heap_.top().when;
+  return slots_[heap_.front()].when;
 }
 
 }  // namespace pas::sim

@@ -5,18 +5,27 @@
 // monitor window closing, PAS controller ticks, trace sampling) is driven by
 // events in this queue. Ordering is deterministic: ties on time break by
 // insertion sequence.
+//
+// Implementation: an indexed binary min-heap over a slot pool. Each pending
+// event owns a pool slot holding its callback (small-buffer optimized — the
+// periodic ticks never heap-allocate) and its position in the heap, so
+// cancel() removes the entry directly in O(log n) with no scanning and
+// next_event_time() is exact (cancelled events never linger). Slots are
+// recycled through a free list; EventIds carry a per-slot generation so a
+// stale id can never cancel the slot's next tenant.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "common/inplace_function.hpp"
 #include "common/units.hpp"
 
 namespace pas::sim {
 
-using EventFn = std::function<void(common::SimTime now)>;
+/// Event callbacks are stored by value; captures up to 48 bytes (six
+/// pointers) are allocation-free.
+using EventFn = common::InplaceFunction<void(common::SimTime), 48>;
 
 /// Handle for cancelling a scheduled event.
 using EventId = std::uint64_t;
@@ -29,7 +38,8 @@ class EventQueue {
   EventId schedule(common::SimTime when, EventFn fn);
 
   /// Cancels a pending event; returns false if it already fired or was
-  /// cancelled. Cancellation is O(1) (lazy: the entry is skipped at pop).
+  /// cancelled. O(log n): the heap entry is removed immediately (no lazy
+  /// tombstones), so pending() and next_event_time() stay exact.
   bool cancel(EventId id);
 
   /// Runs every event with time <= `until`, in (time, insertion) order.
@@ -39,30 +49,42 @@ class EventQueue {
   /// Time of the earliest pending event, or `fallback` if none.
   [[nodiscard]] common::SimTime next_event_time(common::SimTime fallback) const;
 
-  [[nodiscard]] std::size_t pending() const { return live_; }
-  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
 
  private:
-  struct Entry {
+  static constexpr std::uint32_t kNpos = 0xffffffff;
+
+  struct Slot {
     common::SimTime when;
-    EventId id = kInvalidEvent;
-    // Ordered min-first by (when, id); std::priority_queue is max-first, so
-    // invert the comparison.
-    bool operator<(const Entry& other) const {
-      if (when != other.when) return when > other.when;
-      return id > other.id;
-    }
+    std::uint64_t seq = 0;  // global insertion sequence; breaks time ties
+    EventFn fn;
+    std::uint32_t generation = 0;  // bumped on fire/cancel
+    std::uint32_t heap_pos = kNpos;  // kNpos when the slot is free
   };
 
-  std::priority_queue<Entry> heap_;
-  // id -> callback; erased on fire/cancel. Using a side map keeps cancel O(1)
-  // and keeps std::function moves off the heap's sift paths.
-  std::vector<std::pair<EventId, EventFn>> handlers_;
-  EventFn* find_handler(EventId id);
-  void erase_handler(EventId id);
+  [[nodiscard]] static EventId pack(std::uint32_t slot, std::uint32_t generation) {
+    // +1 keeps ids nonzero so kInvalidEvent never collides with slot 0.
+    return (static_cast<EventId>(generation) << 32) | (slot + 1);
+  }
 
-  EventId next_id_ = 1;
-  std::size_t live_ = 0;
+  [[nodiscard]] bool before(std::uint32_t a, std::uint32_t b) const {
+    const Slot& sa = slots_[a];
+    const Slot& sb = slots_[b];
+    if (sa.when != sb.when) return sa.when < sb.when;
+    return sa.seq < sb.seq;
+  }
+
+  void sift_up(std::size_t pos);
+  void sift_down(std::size_t pos);
+  void place(std::size_t pos, std::uint32_t slot);
+  /// Detaches the heap entry at `pos` and returns the slot to the free list.
+  void remove_heap_entry(std::size_t pos);
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> heap_;  // slot indices, min-first by (when, seq)
+  std::vector<std::uint32_t> free_;  // recycled slot indices
+  std::uint64_t next_seq_ = 1;
 };
 
 }  // namespace pas::sim

@@ -1,7 +1,6 @@
 // Self-rearming periodic task on top of the EventQueue.
 #pragma once
 
-#include <functional>
 #include <utility>
 
 #include "common/units.hpp"
@@ -11,11 +10,12 @@ namespace pas::sim {
 
 /// Fires `fn(now)` every `period`, starting at `first` (absolute). The task
 /// owns its rearm logic; destroying it (or calling stop()) cancels the next
-/// firing. Must not outlive the queue.
+/// firing. Must not outlive the queue. Rearming schedules a lambda that
+/// captures only `this`, so a periodic tick never allocates.
 class PeriodicTask {
  public:
   PeriodicTask(EventQueue& queue, common::SimTime first, common::SimTime period,
-               std::function<void(common::SimTime)> fn)
+               EventFn fn)
       : queue_(queue), period_(period), fn_(std::move(fn)) {
     arm(first);
   }
@@ -45,7 +45,7 @@ class PeriodicTask {
 
   EventQueue& queue_;
   common::SimTime period_;
-  std::function<void(common::SimTime)> fn_;
+  EventFn fn_;
   EventId pending_ = kInvalidEvent;
 };
 

@@ -22,6 +22,11 @@ class PiApp final : public Workload {
   [[nodiscard]] bool runnable() const override;
   common::Work consume(common::SimTime now, common::Work budget) override;
   [[nodiscard]] bool finished() const override { return remaining_ <= common::Work{}; }
+  [[nodiscard]] common::SimTime next_transition_time(common::SimTime now) override {
+    // Before the start instant the app is idle; afterwards runnable-ness
+    // only changes by finishing, which happens inside consume().
+    return now < start_ ? start_ : kNoTransition;
+  }
 
   /// Completion instant (quantum precision), once finished.
   [[nodiscard]] std::optional<common::SimTime> completion_time() const { return completed_at_; }

@@ -20,6 +20,9 @@ class BusyLoop final : public Workload {
     total_ += budget;
     return budget;
   }
+  [[nodiscard]] common::SimTime next_transition_time(common::SimTime /*now*/) override {
+    return kNoTransition;  // always runnable
+  }
   [[nodiscard]] common::Work total_consumed() const { return total_; }
 
  private:
@@ -35,6 +38,9 @@ class IdleGuest final : public Workload {
   common::Work consume(common::SimTime /*now*/, common::Work /*budget*/) override {
     return common::Work{};
   }
+  [[nodiscard]] common::SimTime next_transition_time(common::SimTime /*now*/) override {
+    return kNoTransition;  // never runnable
+  }
 };
 
 /// A CPU hog gated by a profile: thrashing while the profile is non-zero,
@@ -49,6 +55,11 @@ class GatedBusyLoop final : public Workload {
   common::Work consume(common::SimTime /*now*/, common::Work budget) override {
     total_ += budget;
     return budget;
+  }
+  [[nodiscard]] common::SimTime next_transition_time(common::SimTime now) override {
+    // Runnable-ness follows the gate exactly; it can only flip where the
+    // profile has a step.
+    return gate_.next_change_after(now, kNoTransition);
   }
   [[nodiscard]] common::Work total_consumed() const { return total_; }
 

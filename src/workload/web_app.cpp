@@ -29,6 +29,13 @@ double WebApp::rate_for_demand(common::Percent demand_pct, common::Work cost) {
   return (demand_pct / 100.0) * 1e6 / cost.mfus();
 }
 
+void WebApp::arm_arrival(double rate) {
+  const double mean_gap_s = 1.0 / rate;
+  const double wait_s = cfg_.poisson ? rng_.exponential(mean_gap_s) : mean_gap_s;
+  next_arrival_ = clock_ + from_seconds(wait_s);
+  arrival_pending_ = true;
+}
+
 void WebApp::generate_arrivals(common::SimTime until) {
   while (clock_ < until) {
     const double rate = rate_.at(clock_);
@@ -40,12 +47,7 @@ void WebApp::generate_arrivals(common::SimTime until) {
       continue;
     }
 
-    if (!arrival_pending_) {
-      const double mean_gap_s = 1.0 / rate;
-      const double wait_s = cfg_.poisson ? rng_.exponential(mean_gap_s) : mean_gap_s;
-      next_arrival_ = clock_ + from_seconds(wait_s);
-      arrival_pending_ = true;
-    }
+    if (!arrival_pending_) arm_arrival(rate);
 
     const common::SimTime seg_end = std::min(change, until);
     if (next_arrival_ <= seg_end) {
@@ -78,6 +80,25 @@ void WebApp::generate_arrivals(common::SimTime until) {
 }
 
 void WebApp::advance_to(common::SimTime now) { generate_arrivals(now); }
+
+common::SimTime WebApp::next_transition_time(common::SimTime now) {
+  // With work queued, runnable() can only flip through consume().
+  if (!queue_.empty()) return kNoTransition;
+  assert(clock_ >= now);  // advance_to(now) has already delivered arrivals
+  (void)now;
+  // Queue empty: the next transition is the next arrival. Walk the
+  // generator state without enqueuing anything.
+  const common::SimTime change = rate_.next_change_after(clock_, kNoTransition);
+  const double rate = rate_.at(clock_);
+  if (rate <= 0.0) return change;  // nothing can arrive before the rate turns on
+  // Pre-draw the pending arrival if generate_arrivals has not already; this
+  // is the identical draw it would make at the same point in the RNG
+  // sequence, so the arrival process is unchanged.
+  if (!arrival_pending_) arm_arrival(rate);
+  // A rate step before the pending arrival discards and re-draws it, so the
+  // conservative bound is whichever instant comes first.
+  return std::min(next_arrival_, change);
+}
 
 common::Work WebApp::consume(common::SimTime now, common::Work budget) {
   common::Work consumed{};

@@ -45,6 +45,7 @@ class WebApp final : public Workload {
   void advance_to(common::SimTime now) override;
   [[nodiscard]] bool runnable() const override { return !queue_.empty(); }
   common::Work consume(common::SimTime now, common::Work budget) override;
+  [[nodiscard]] common::SimTime next_transition_time(common::SimTime now) override;
 
   // --- Service statistics (SLA metrics) ---
   [[nodiscard]] std::uint64_t arrived() const { return arrived_; }
@@ -69,6 +70,8 @@ class WebApp final : public Workload {
   };
 
   void generate_arrivals(common::SimTime until);
+  /// Draws the next inter-arrival gap (once) for the current segment.
+  void arm_arrival(double rate);
 
   LoadProfile rate_;
   WebAppConfig cfg_;

@@ -10,17 +10,29 @@
 // notices DVFS through how little it gets done per wall second.
 #pragma once
 
+#include <cstdint>
+#include <limits>
+
 #include "common/units.hpp"
 
 namespace pas::wl {
+
+/// Sentinel for next_transition_time(): the workload's runnable state never
+/// changes on its own (only consume() can change it, which the host sees).
+inline constexpr common::SimTime kNoTransition{
+    std::numeric_limits<std::int64_t>::max()};
 
 class Workload {
  public:
   virtual ~Workload() = default;
 
   /// Advances workload-internal state (request arrivals, phase boundaries)
-  /// to time `now`. Called at least once per scheduling quantum, with
-  /// monotonically non-decreasing `now`.
+  /// to time `now`, with monotonically non-decreasing `now`. The host calls
+  /// this at quantum granularity while the VM is active, but may *coarsen*
+  /// the call pattern while the VM is provably idle — implementations must
+  /// make advance_to(a); advance_to(b) indistinguishable from advance_to(b)
+  /// (deliver the same arrivals with the same timestamps, draw the same RNG
+  /// sequence).
   virtual void advance_to(common::SimTime now) = 0;
 
   /// True if the VM has CPU work pending at the last advanced-to instant.
@@ -34,6 +46,19 @@ class Workload {
   /// True once the workload will never become runnable again (pi-app after
   /// completing its computation). Open-loop servers never finish.
   [[nodiscard]] virtual bool finished() const { return false; }
+
+  /// Lower bound on the next instant at which runnable() may change value
+  /// on its own — i.e. through advance_to() alone, with no intervening
+  /// consume(). This is the host's license to skip simulated time while the
+  /// CPU idles: it will not re-poll this workload before the returned
+  /// instant. kNoTransition means "never"; returning `now` (or any earlier
+  /// time) means "unknown", which makes the host re-poll every quantum —
+  /// always safe, never wrong. The bound may be conservative (early), never
+  /// late. Non-const because open-loop generators may pre-draw their next
+  /// arrival to answer (the draw order is unchanged, so determinism holds).
+  [[nodiscard]] virtual common::SimTime next_transition_time(common::SimTime now) {
+    return now;  // unknown: the host re-polls every quantum
+  }
 };
 
 }  // namespace pas::wl

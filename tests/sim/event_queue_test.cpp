@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 namespace pas::sim {
@@ -100,6 +101,80 @@ TEST(EventQueueTest, PastEventsFireAtNextDispatch) {
   q.schedule(msec(10), [&](SimTime) { ++fired; });  // "past" by wall clock
   q.run_until(msec(50));
   EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, CancelTopExposesNextEventTime) {
+  // cancel() removes the heap entry eagerly, so next_event_time() must not
+  // report the cancelled instant.
+  EventQueue q;
+  const EventId top = q.schedule(msec(5), [](SimTime) {});
+  q.schedule(msec(40), [](SimTime) {});
+  EXPECT_EQ(q.next_event_time(msec(99)), msec(5));
+  EXPECT_TRUE(q.cancel(top));
+  EXPECT_EQ(q.next_event_time(msec(99)), msec(40));
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueueTest, CancelMiddlePreservesOrdering) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(msec(10), [&](SimTime) { order.push_back(1); });
+  const EventId mid = q.schedule(msec(20), [&](SimTime) { order.push_back(2); });
+  q.schedule(msec(30), [&](SimTime) { order.push_back(3); });
+  q.schedule(msec(40), [&](SimTime) { order.push_back(4); });
+  EXPECT_TRUE(q.cancel(mid));
+  q.run_until(msec(100));
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 4}));
+}
+
+TEST(EventQueueTest, StaleIdCannotCancelRecycledSlot) {
+  // After an event fires, its slot is recycled; the old id must not be able
+  // to cancel the slot's new tenant.
+  EventQueue q;
+  const EventId old_id = q.schedule(msec(1), [](SimTime) {});
+  q.run_until(msec(1));
+  int fired = 0;
+  q.schedule(msec(10), [&](SimTime) { ++fired; });  // likely reuses the slot
+  EXPECT_FALSE(q.cancel(old_id));
+  q.run_until(msec(10));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, HandlerMayCancelPendingEvent) {
+  EventQueue q;
+  int fired = 0;
+  const EventId victim = q.schedule(msec(20), [&](SimTime) { ++fired; });
+  q.schedule(msec(10), [&](SimTime) { EXPECT_TRUE(q.cancel(victim)); });
+  q.run_until(msec(100));
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, InterleavedScheduleCancelStress) {
+  // Deterministic schedule/cancel interleaving checked against a simple
+  // reference model of which events must survive.
+  EventQueue q;
+  std::vector<int> fired;
+  std::vector<EventId> ids;
+  std::vector<int> expected;
+  for (int i = 0; i < 500; ++i) {
+    const int when_ms = (i * 7919) % 1000;  // deterministic scatter
+    ids.push_back(q.schedule(msec(when_ms), [&fired, i](SimTime) { fired.push_back(i); }));
+    if (i % 3 == 2) {
+      EXPECT_TRUE(q.cancel(ids[i - 1]));
+      ids[i - 1] = kInvalidEvent;
+    }
+  }
+  for (int i = 0; i < 500; ++i)
+    if (ids[i] != kInvalidEvent) expected.push_back(i);
+  q.run_until(msec(1000));
+  ASSERT_EQ(fired.size(), expected.size());
+  // Every surviving event fired exactly once; verify (time, insertion) order.
+  std::vector<int> sorted = expected;
+  std::stable_sort(sorted.begin(), sorted.end(), [](int a, int b) {
+    return (a * 7919) % 1000 < (b * 7919) % 1000;
+  });
+  EXPECT_EQ(fired, sorted);
 }
 
 TEST(EventQueueTest, ManyEventsStressOrdering) {
