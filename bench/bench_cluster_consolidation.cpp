@@ -1,0 +1,205 @@
+// Cluster consolidation bench: the §2.3 figure made dynamic, plus the
+// cluster layer's throughput and exactness gates.
+//
+// One scenario — 8 hosts x 64 VMs, tenants spread round-robin, an online
+// manager consolidating them with live migrations — measured three ways:
+//
+//   static spread      : no manager; every host on, pinned at max frequency
+//   consolidation only : manager migrates + VOVO, frequency pinned at max
+//   consolidation + PAS: manager additionally scales each host's frequency
+//                        (credits eq.-4-compensated)
+//
+// The consolidation-only minus consolidation+PAS gap is the energy DVFS
+// reclaims ON TOP of consolidation — positive exactly because memory binds
+// before CPU (§2.3), now demonstrated on a running fleet with migration
+// overhead and downtime included rather than on a frozen placement.
+//
+// The bench also A/Bs the event-driven fast path against the reference
+// slow-stepped loop at full cluster scale (byte-identical traces required)
+// and records simulated-seconds-per-wall-second, with an optional floor
+// for CI (--require-rate=2000).
+//
+// Usage: bench_cluster_consolidation [--smoke] [--horizon=SECONDS]
+//          [--hosts=8] [--vms=64] [--out=BENCH_cluster.json]
+//          [--require-rate=RATE]
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "cluster/cluster_manager.hpp"
+#include "common/flags.hpp"
+#include "scenario/hosting_cluster.hpp"
+
+namespace {
+
+using pas::common::seconds;
+using pas::common::SimTime;
+using pas::scenario::HostingClusterConfig;
+
+double run_timed(pas::cluster::Cluster& cluster, SimTime horizon) {
+  const auto start = std::chrono::steady_clock::now();
+  cluster.run_until(horizon);
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+bool clusters_identical(pas::cluster::Cluster& a, pas::cluster::Cluster& b) {
+  for (pas::cluster::HostId h = 0; h < a.host_count(); ++h) {
+    const auto sa = a.host(h).trace().samples();
+    const auto sb = b.host(h).trace().samples();
+    if (sa.size() != sb.size()) return false;
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      const auto ra = sa[i];
+      const auto rb = sb[i];
+      if (ra.t != rb.t || ra.freq_mhz != rb.freq_mhz ||
+          ra.global_load_pct != rb.global_load_pct ||
+          ra.absolute_load_pct != rb.absolute_load_pct)
+        return false;
+      for (std::size_t v = 0; v < ra.vm_global_pct.size(); ++v) {
+        if (ra.vm_global_pct[v] != rb.vm_global_pct[v] ||
+            ra.vm_absolute_pct[v] != rb.vm_absolute_pct[v] ||
+            ra.vm_credit_pct[v] != rb.vm_credit_pct[v] ||
+            ra.vm_saturated[v] != rb.vm_saturated[v])
+          return false;
+      }
+    }
+    if (a.host(h).idle_time() != b.host(h).idle_time()) return false;
+  }
+  if (a.migrations().size() != b.migrations().size()) return false;
+  for (std::size_t i = 0; i < a.migrations().size(); ++i) {
+    if (a.migrations()[i].vm != b.migrations()[i].vm ||
+        a.migrations()[i].start != b.migrations()[i].start ||
+        a.migrations()[i].end != b.migrations()[i].end)
+      return false;
+  }
+  for (pas::cluster::GlobalVmId g = 0; g < a.vm_count(); ++g)
+    if (a.residence(g) != b.residence(g)) return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const pas::common::Flags flags{argc, argv};
+  const long horizon_s = flags.get_int("horizon", flags.has("smoke") ? 400 : 4000);
+  if (horizon_s < 64) {
+    std::fprintf(stderr, "bench_cluster_consolidation: --horizon must be >= 64\n");
+    return 2;
+  }
+  const auto hosts = static_cast<std::size_t>(flags.get_int("hosts", 8));
+  const auto vms = static_cast<std::size_t>(flags.get_int("vms", 64));
+  const std::string out = flags.get_or("out", "BENCH_cluster.json");
+  const SimTime horizon = seconds(horizon_s);
+
+  HostingClusterConfig base;
+  base.hosts = hosts;
+  base.vms = vms;
+  base.horizon = horizon;
+
+  std::printf("=== cluster consolidation: %zu hosts x %zu VMs, %ld simulated s ===\n",
+              hosts, vms, horizon_s);
+
+  // --- throughput + exactness: fast path vs reference loop, manager on ---
+  auto cfg_slow = base;
+  cfg_slow.fast_path = false;
+  auto slow = pas::scenario::build_hosting_cluster(cfg_slow);
+  const double slow_wall = run_timed(*slow, horizon);
+  const double slow_rate = static_cast<double>(horizon_s) / slow_wall;
+  std::printf("  slow-stepped loop : %8.2f wall ms   %10.0f sim-s/wall-s\n",
+              slow_wall * 1e3, slow_rate);
+
+  auto cfg_fast = base;
+  cfg_fast.fast_path = true;
+  auto fast = pas::scenario::build_hosting_cluster(cfg_fast);
+  const double fast_wall = run_timed(*fast, horizon);
+  const double fast_rate = static_cast<double>(horizon_s) / fast_wall;
+  std::printf("  event-driven loop : %8.2f wall ms   %10.0f sim-s/wall-s\n",
+              fast_wall * 1e3, fast_rate);
+
+  const bool identical = clusters_identical(*slow, *fast);
+  const double speedup = slow_wall / fast_wall;
+  std::printf("  speedup: %.2fx   traces identical: %s\n", speedup,
+              identical ? "yes" : "NO — BUG");
+
+  // --- the dynamic §2.3 figure ---
+  // (c) consolidation + PAS is the fast run above; (a) and (b) rerun the
+  // same tenants under the other policies.
+  auto cfg_spread = base;
+  cfg_spread.install_manager = false;
+  auto spread = pas::scenario::build_hosting_cluster(cfg_spread);
+  spread->run_until(horizon);
+
+  auto cfg_consol = base;
+  cfg_consol.manager.dvfs = pas::cluster::ClusterManagerConfig::Dvfs::kPinnedMax;
+  auto consol = pas::scenario::build_hosting_cluster(cfg_consol);
+  consol->run_until(horizon);
+
+  const double watts_spread = spread->average_watts();
+  const double watts_consol = consol->average_watts();
+  const double watts_pas = fast->average_watts();
+  const double consolidation_saving = watts_spread - watts_consol;
+  const double dvfs_saving = watts_consol - watts_pas;
+
+  std::printf("\n  policy                      mean W   hosts on   migrations\n");
+  std::printf("  static spread             %8.1f   %8zu   %10zu\n", watts_spread,
+              spread->powered_on_count(), spread->migrations().size());
+  std::printf("  consolidation only        %8.1f   %8zu   %10zu\n", watts_consol,
+              consol->powered_on_count(), consol->migrations().size());
+  std::printf("  consolidation + PAS DVFS  %8.1f   %8zu   %10zu\n", watts_pas,
+              fast->powered_on_count(), fast->migrations().size());
+  std::printf("  consolidation saves %.1f W; DVFS reclaims another %.1f W on top (§2.3)\n",
+              consolidation_saving, dvfs_saving);
+
+  {
+    std::ofstream js{out};
+    if (!js) {
+      std::fprintf(stderr, "bench_cluster_consolidation: cannot write %s\n", out.c_str());
+      return 2;
+    }
+    char buf[1536];
+    std::snprintf(buf, sizeof(buf),
+                  "{\n"
+                  "  \"bench\": \"cluster_consolidation\",\n"
+                  "  \"scenario\": \"hosting_cluster_%zux%zu\",\n"
+                  "  \"hosts\": %zu,\n"
+                  "  \"vms\": %zu,\n"
+                  "  \"simulated_seconds\": %ld,\n"
+                  "  \"slow\": {\"wall_seconds\": %.6f, \"sim_per_wall\": %.1f},\n"
+                  "  \"fast\": {\"wall_seconds\": %.6f, \"sim_per_wall\": %.1f},\n"
+                  "  \"speedup\": %.3f,\n"
+                  "  \"traces_identical\": %s,\n"
+                  "  \"watts_static_spread\": %.3f,\n"
+                  "  \"watts_consolidation_only\": %.3f,\n"
+                  "  \"watts_consolidation_pas\": %.3f,\n"
+                  "  \"consolidation_saving_watts\": %.3f,\n"
+                  "  \"dvfs_saving_watts\": %.3f,\n"
+                  "  \"migrations\": %zu,\n"
+                  "  \"hosts_on_final\": %zu\n"
+                  "}\n",
+                  hosts, vms, hosts, vms, horizon_s, slow_wall, slow_rate, fast_wall,
+                  fast_rate, speedup, identical ? "true" : "false", watts_spread,
+                  watts_consol, watts_pas, consolidation_saving, dvfs_saving,
+                  fast->migrations().size(), fast->powered_on_count());
+    js << buf;
+    std::printf("  written to %s\n", out.c_str());
+  }
+
+  if (!identical) {
+    std::printf("  FAIL: fast path diverged from the reference loop\n");
+    return 1;
+  }
+  if (dvfs_saving <= 0.0) {
+    std::printf("  FAIL: DVFS reclaimed nothing on top of consolidation\n");
+    return 1;
+  }
+  const double floor = flags.get_double("require-rate", 0.0);
+  if (floor > 0.0 && fast_rate < floor) {
+    std::printf("  FAIL: fast rate %.0f sim-s/wall-s below the %.0f floor\n", fast_rate,
+                floor);
+    return 1;
+  }
+  return 0;
+}

@@ -46,7 +46,10 @@ int main(int argc, char** argv) {
   }
 
   const auto placement = consolidation::place_ffd(vms, fleet);
-  const auto outcome = consolidation::evaluate(placement, vms, fleet);
+  // A random fleet may genuinely not fit: run the partial plan, but surface
+  // the shortfall explicitly below.
+  const auto outcome = consolidation::evaluate(placement, vms, fleet,
+                                               /*allow_unplaced=*/true);
 
   std::printf("Consolidation plan: %zu VMs onto %zu hosts (%.0f MB each).\n\n", vm_count,
               host_count, spec.memory_mb);
@@ -64,8 +67,14 @@ int main(int argc, char** argv) {
                 fleet[hi].ladder.at(h.freq_index).freq.value());
   }
 
-  std::printf("\n  hosts on: %zu of %zu (%zu VM(s) unplaceable)\n", outcome.hosts_on,
-              host_count, placement.unplaced);
+  std::printf("\n  hosts on: %zu of %zu\n", outcome.hosts_on, host_count);
+  if (!outcome.all_placed()) {
+    std::printf("  UNPLACED: %zu VM(s) — %.0f MB, %.0f %% credit, %.0f %% demand NOT served:",
+                outcome.unplaced_vms.size(), outcome.unplaced_memory_mb,
+                outcome.unplaced_credit_pct, outcome.unplaced_demand_pct);
+    for (const std::size_t vi : outcome.unplaced_vms) std::printf(" %s", vms[vi].name.c_str());
+    std::printf("\n");
+  }
   std::printf("  mean active-host CPU load: %.1f %% (memory binds first — §2.3)\n",
               outcome.mean_active_load_pct);
   std::printf("  cluster power, consolidation only:    %8.1f W\n",

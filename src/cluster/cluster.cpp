@@ -1,0 +1,182 @@
+#include "cluster/cluster.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "cluster/cluster_manager.hpp"
+#include "sched/credit_scheduler.hpp"
+#include "workload/synthetic.hpp"
+
+namespace pas::cluster {
+
+Cluster::Cluster(ClusterConfig config)
+    : cfg_(std::move(config)), meter_(cfg_.host_count) {
+  if (cfg_.host_count == 0) throw std::invalid_argument("Cluster: need at least one host");
+  if (cfg_.host_memory_mb <= 0.0)
+    throw std::invalid_argument("Cluster: host memory must be positive");
+  engine_ = std::make_unique<MigrationEngine>(cfg_.migration, events_);
+
+  hosts_.reserve(cfg_.host_count);
+  agents_.reserve(cfg_.host_count);
+  for (std::size_t h = 0; h < cfg_.host_count; ++h) {
+    auto scheduler = cfg_.make_scheduler ? cfg_.make_scheduler()
+                                         : std::make_unique<sched::CreditScheduler>();
+    auto host = std::make_unique<hv::Host>(cfg_.host, std::move(scheduler));
+    hv::VmConfig agent_cfg;
+    agent_cfg.name = "hv-agent-" + std::to_string(h);
+    agent_cfg.credit = cfg_.agent_credit;
+    agent_cfg.priority = cfg_.agent_priority;
+    auto agent = std::make_unique<HypervisorAgent>();
+    agents_.push_back(agent.get());
+    const common::VmId slot_id = host->add_vm(agent_cfg, std::move(agent));
+    if (slot_id != 0) throw std::logic_error("Cluster: agent must hold slot 0");
+    hosts_.push_back(std::move(host));
+  }
+}
+
+Cluster::~Cluster() = default;
+
+GlobalVmId Cluster::add_vm(ClusterVmConfig config, std::unique_ptr<wl::Workload> workload,
+                           HostId home) {
+  if (started_) throw std::logic_error("Cluster: add_vm after run started");
+  if (home >= hosts_.size()) throw std::invalid_argument("Cluster: bad home host");
+  if (workload == nullptr) throw std::invalid_argument("Cluster: workload required");
+  if (config.memory_mb <= 0.0)
+    throw std::invalid_argument("Cluster: VM memory must be positive");
+
+  const auto gid = static_cast<GlobalVmId>(vm_cfgs_.size());
+  for (std::size_t h = 0; h < hosts_.size(); ++h) {
+    const common::VmId slot_id = hosts_[h]->add_vm(
+        config.vm, h == home ? std::move(workload) : std::make_unique<wl::IdleGuest>());
+    if (slot_id != slot(gid)) throw std::logic_error("Cluster: slot layout out of sync");
+  }
+  sla_.register_vm(gid, config.vm.credit);
+  vm_cfgs_.push_back(std::move(config));
+  home_.push_back(home);
+  downtime_.emplace_back();
+  migration_count_.push_back(0);
+  return gid;
+}
+
+void Cluster::install_manager(std::unique_ptr<ClusterManager> manager) {
+  if (started_) throw std::logic_error("Cluster: install_manager after run started");
+  manager_ = std::move(manager);
+}
+
+void Cluster::install_periodic_tasks() {
+  // SLA sampling rides the hosts' monitor-window cadence: by the time the
+  // cluster event at t = k*window fires, every host has closed its own
+  // window ending at t (host events run before the cluster event — see
+  // run_until), so the "last window" readings are exactly window k.
+  const common::SimTime window = cfg_.host.monitor_window;
+  tasks_.push_back(std::make_unique<sim::PeriodicTask>(
+      events_, window, window, [this](common::SimTime t) { sample_sla(t); }));
+
+  if (manager_) {
+    const common::SimTime p = manager_->period();
+    tasks_.push_back(std::make_unique<sim::PeriodicTask>(
+        events_, p, p, [this](common::SimTime t) { manager_->on_tick(t, *this); }));
+  }
+}
+
+void Cluster::sample_sla(common::SimTime /*now*/) {
+  const common::SimTime window = cfg_.host.monitor_window;
+  for (GlobalVmId gid = 0; gid < vm_cfgs_.size(); ++gid) {
+    if (engine_->detached(gid)) continue;  // pause accounted at attach time
+    const hv::Host& h = *hosts_[home_[gid]];
+    const common::VmId s = slot(gid);
+    sla_.record_window(gid, window, h.monitor().vm_absolute_load_pct(s),
+                       h.vm_saturated_last_window(s));
+  }
+}
+
+void Cluster::on_migration_done(const MigrationRecord& record) {
+  home_[record.vm] = record.to;
+  downtime_[record.vm] += record.downtime;
+  ++migration_count_[record.vm];
+  // The stop-and-copy pause is SLA-visible: a full window of length
+  // `downtime` in which a (by definition demand-bearing) VM received
+  // nothing at all.
+  sla_.record_window(record.vm, record.downtime, 0.0, /*saturated=*/true);
+}
+
+bool Cluster::migrate(GlobalVmId vm, HostId to) {
+  if (vm >= vm_cfgs_.size()) throw std::invalid_argument("Cluster: bad VM id");
+  if (to >= hosts_.size()) throw std::invalid_argument("Cluster: bad destination host");
+  if (to == home_[vm] || engine_->in_flight(vm)) return false;
+
+  const HostId from = home_[vm];
+  set_powered(to, true);  // the destination must be receiving
+  const ClusterVmConfig& cfg = vm_cfgs_[vm];
+  MigrationEngine::Endpoint source{hosts_[from].get(), slot(vm), agents_[from], 0};
+  MigrationEngine::Endpoint dest{hosts_[to].get(), slot(vm), agents_[to], 0};
+  engine_->begin(vm, from, to, source, dest, cfg.memory_mb, cfg.dirty_mb_per_s,
+                 cfg.vm.credit, now_,
+                 [this](const MigrationRecord& r) { on_migration_done(r); });
+  return true;
+}
+
+bool Cluster::host_in_use(HostId host) const {
+  for (const HostId h : home_)
+    if (h == host) return true;
+  return engine_->endpoint_in_flight(host);
+}
+
+bool Cluster::set_powered(HostId host, bool on) {
+  if (host >= hosts_.size()) throw std::invalid_argument("Cluster: bad host id");
+  if (!on && host_in_use(host)) return false;
+  meter_.set_powered(host, on, hosts_[host]->energy().joules());
+  return true;
+}
+
+std::size_t Cluster::powered_on_count() const {
+  std::size_t n = 0;
+  for (std::size_t h = 0; h < hosts_.size(); ++h)
+    if (meter_.powered(h)) ++n;
+  return n;
+}
+
+double Cluster::energy_joules() const {
+  double total = 0.0;
+  for (std::size_t h = 0; h < hosts_.size(); ++h)
+    total += meter_.host_joules(h, hosts_[h]->energy().joules());
+  return total;
+}
+
+double Cluster::average_watts() const {
+  return now_.sec() > 0.0 ? energy_joules() / now_.sec() : 0.0;
+}
+
+ClusterVmStats Cluster::vm_stats(GlobalVmId vm) const {
+  if (vm >= vm_cfgs_.size()) throw std::invalid_argument("Cluster: bad VM id");
+  ClusterVmStats stats;
+  const common::VmId s = slot(vm);
+  for (const auto& host : hosts_) {
+    stats.total_busy += host->vm(s).total_busy;
+    stats.total_work += host->vm(s).total_work;
+  }
+  stats.downtime = downtime_[vm];
+  stats.migrations = migration_count_[vm];
+  return stats;
+}
+
+void Cluster::run_until(common::SimTime until) {
+  if (!started_) {
+    install_periodic_tasks();
+    started_ = true;
+  }
+  while (now_ < until) {
+    // Advance every host to the next instant the cluster itself acts, then
+    // act. Hosts reach `target` first (firing their own internal events up
+    // to and including it), so a cluster event always observes — and
+    // mutates — a fleet synchronized to its own timestamp.
+    const common::SimTime target = std::min(until, events_.next_event_time(until));
+    if (target > now_) {
+      for (auto& host : hosts_) host->run_until(target);
+      now_ = target;
+    }
+    events_.run_until(now_);
+  }
+}
+
+}  // namespace pas::cluster

@@ -1,0 +1,180 @@
+// Multi-host cluster: N simulated hosts advancing in lockstep on a shared
+// virtual clock, with VMs that live-migrate between them at runtime.
+//
+// Synchronization model: hosts never interact *except* through cluster
+// events (migration phases, manager ticks, SLA sampling), and every cluster
+// event fires at an instant where all hosts have been advanced to exactly
+// that time. The run loop therefore alternates
+//
+//     advance every host to the next cluster event -> fire the event
+//
+// which makes cross-host interaction conservative: within a segment each
+// host simulates independently (its event-driven fast path may skip freely
+// — the segment bound caps every skip), and anything that mutates another
+// host's runnable set (a migration attach, overhead injected into a
+// hypervisor agent) happens only at segment boundaries, followed by
+// Host::notify_workload_changed. This is how the fast path "learns" about
+// remote migrations without any cross-host speculation, and why a cluster
+// run is byte-identical with the fast path on and off (the cluster fuzz
+// test pins this for ~100 random scenarios).
+//
+// Topology: every cluster VM owns a slot on *every* host (slot index
+// kFirstGuestSlot + id; slot 0 is the host's hypervisor agent). Exactly one
+// slot holds the guest's workload at any time — the rest park an IdleGuest
+// that is never runnable — so migration is a workload-pointer + credit
+// handoff, and per-host dense VmIds survive untouched.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "cluster/hypervisor_agent.hpp"
+#include "cluster/migration.hpp"
+#include "common/units.hpp"
+#include "hypervisor/host.hpp"
+#include "metrics/cluster_energy_meter.hpp"
+#include "metrics/sla_checker.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/periodic.hpp"
+
+namespace pas::cluster {
+
+class ClusterManager;
+
+/// Slot index of a cluster VM on every host: slot 0 is the hypervisor
+/// agent, guests follow in creation order.
+inline constexpr common::VmId kFirstGuestSlot = 1;
+
+struct ClusterVmConfig {
+  hv::VmConfig vm;  // name, purchased credit, priority
+  /// Memory footprint — the consolidation planner's binding resource and
+  /// the migration cost driver.
+  double memory_mb = 512.0;
+  /// Page-dirty rate while running (pre-copy convergence).
+  double dirty_mb_per_s = 50.0;
+};
+
+struct ClusterConfig {
+  /// Template applied to every host (quantum, ladder, power model, trace
+  /// stride, event_driven_fast_path, ...).
+  hv::HostConfig host;
+  std::size_t host_count = 2;
+  /// Physical memory per host, consumed by the consolidation planner.
+  double host_memory_mb = 4096.0;
+  MigrationConfig migration;
+  /// Factory for each host's scheduler; defaults to the paper's credit
+  /// scheduler when empty.
+  std::function<std::unique_ptr<hv::Scheduler>()> make_scheduler;
+  /// Credit/priority of each host's hypervisor agent (Dom0's migration
+  /// helper; the paper runs Dom0 at the highest priority).
+  common::Percent agent_credit = 10.0;
+  int agent_priority = 1;
+};
+
+/// Per-VM totals aggregated across every host the VM touched.
+struct ClusterVmStats {
+  common::SimTime total_busy{};
+  common::Work total_work{};
+  common::SimTime downtime{};
+  std::uint32_t migrations = 0;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Adds a VM resident on `home`, creating its slot on every host. Must
+  /// precede the first run_until.
+  GlobalVmId add_vm(ClusterVmConfig config, std::unique_ptr<wl::Workload> workload,
+                    HostId home);
+
+  /// Installs the online reconfiguration manager (optional — a cluster
+  /// without one is a static multi-host simulation). Must precede the
+  /// first run_until.
+  void install_manager(std::unique_ptr<ClusterManager> manager);
+
+  /// Advances every host, in lockstep, to absolute time `until`.
+  void run_until(common::SimTime until);
+
+  /// Starts a live migration of `vm` to `to`. Returns false (and does
+  /// nothing) if the VM is already in flight or `to` is its current home.
+  /// Powers the destination on. Callable from manager ticks and between
+  /// run_until calls.
+  bool migrate(GlobalVmId vm, HostId to);
+
+  /// Flips a host's power state (VOVO). Powering off excludes the host's
+  /// energy from the cluster total; the host keeps following the clock so
+  /// power-on is instantaneous. Refuses (returns false) to power off a host
+  /// with resident VMs or an in-flight migration endpoint.
+  bool set_powered(HostId host, bool on);
+
+  // --- accessors ---
+  [[nodiscard]] common::SimTime now() const { return now_; }
+  [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
+  [[nodiscard]] std::size_t vm_count() const { return vm_cfgs_.size(); }
+  [[nodiscard]] hv::Host& host(HostId id) { return *hosts_.at(id); }
+  [[nodiscard]] const hv::Host& host(HostId id) const { return *hosts_.at(id); }
+  [[nodiscard]] const ClusterConfig& config() const { return cfg_; }
+  [[nodiscard]] const ClusterVmConfig& vm_config(GlobalVmId vm) const {
+    return vm_cfgs_.at(vm);
+  }
+  /// The VM's slot index on every host.
+  [[nodiscard]] static common::VmId slot(GlobalVmId vm) { return kFirstGuestSlot + vm; }
+  /// Host currently responsible for the VM (the source until a migration's
+  /// attach completes).
+  [[nodiscard]] HostId residence(GlobalVmId vm) const { return home_.at(vm); }
+  [[nodiscard]] bool migrating(GlobalVmId vm) const { return engine_->in_flight(vm); }
+  [[nodiscard]] bool powered_on(HostId host) const { return meter_.powered(host); }
+  [[nodiscard]] std::size_t powered_on_count() const;
+  /// True if the host holds residents or an in-flight migration endpoint.
+  [[nodiscard]] bool host_in_use(HostId host) const;
+  [[nodiscard]] const MigrationEngine& engine() const { return *engine_; }
+  [[nodiscard]] HypervisorAgent& agent(HostId host) { return *agents_.at(host); }
+
+  // --- cluster-wide metrics ---
+  /// VOVO-gated total energy (powered-off intervals excluded).
+  [[nodiscard]] double energy_joules() const;
+  /// Mean cluster power over the run so far.
+  [[nodiscard]] double average_watts() const;
+  [[nodiscard]] ClusterVmStats vm_stats(GlobalVmId vm) const;
+  [[nodiscard]] const std::vector<MigrationRecord>& migrations() const {
+    return engine_->completed();
+  }
+  /// Cluster-wide SLA accounting: per-VM absolute delivery vs purchased
+  /// credit sampled every monitor window on the VM's resident host, plus
+  /// every migration's stop-and-copy pause charged as a fully violated
+  /// window (a paused VM delivers nothing, whatever it bought).
+  [[nodiscard]] const metrics::SlaChecker& sla() const { return sla_; }
+
+ private:
+  void install_periodic_tasks();
+  void sample_sla(common::SimTime now);
+  void on_migration_done(const MigrationRecord& record);
+
+  ClusterConfig cfg_;
+  std::vector<std::unique_ptr<hv::Host>> hosts_;
+  std::vector<HypervisorAgent*> agents_;  // slot 0 of each host, owned there
+
+  std::vector<ClusterVmConfig> vm_cfgs_;
+  std::vector<HostId> home_;
+
+  sim::EventQueue events_;
+  std::vector<std::unique_ptr<sim::PeriodicTask>> tasks_;
+  std::unique_ptr<MigrationEngine> engine_;
+  std::unique_ptr<ClusterManager> manager_;
+
+  metrics::ClusterEnergyMeter meter_;
+  metrics::SlaChecker sla_;
+  std::vector<common::SimTime> downtime_;
+  std::vector<std::uint32_t> migration_count_;
+
+  common::SimTime now_{};
+  bool started_ = false;
+};
+
+}  // namespace pas::cluster

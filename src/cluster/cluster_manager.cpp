@@ -1,0 +1,113 @@
+#include "cluster/cluster_manager.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "consolidation/consolidation.hpp"
+#include "core/compensation.hpp"
+
+namespace pas::cluster {
+
+ClusterManager::ClusterManager(ClusterManagerConfig config) : cfg_(config) {
+  if (cfg_.period.us() <= 0)
+    throw std::invalid_argument("ClusterManager: period must be positive");
+}
+
+void ClusterManager::on_tick(common::SimTime /*now*/, Cluster& cluster) {
+  ++ticks_;
+
+  if (cfg_.consolidate) {
+    // Re-plan from scratch: FFD by memory with credit reservation, exactly
+    // the static §2.3 planner — what changed is that the "current
+    // placement" now disagrees with it, and the disagreement is worked off
+    // by live migrations. Placement is reservation-driven (memory +
+    // purchased credit, both static): SLAs must be honorable whatever the
+    // demand does, and static inputs keep the plan stable between ticks.
+    // Observed load enters below, in the DVFS step.
+    std::vector<consolidation::VmSpec> vms;
+    vms.reserve(cluster.vm_count());
+    for (GlobalVmId gid = 0; gid < cluster.vm_count(); ++gid) {
+      const ClusterVmConfig& vc = cluster.vm_config(gid);
+      consolidation::VmSpec spec;
+      spec.name = vc.vm.name;
+      spec.credit = vc.vm.credit;
+      spec.memory_mb = vc.memory_mb;
+      vms.push_back(std::move(spec));
+    }
+    std::vector<consolidation::HostSpec> hosts;
+    hosts.reserve(cluster.host_count());
+    for (HostId h = 0; h < cluster.host_count(); ++h) {
+      consolidation::HostSpec spec;
+      spec.name = "host-" + std::to_string(h);
+      // Reserve the hypervisor agent's credit out of the schedulable
+      // capacity, like Dom0 in the paper's single-host budget.
+      spec.cpu_capacity_pct = 100.0 - cluster.config().agent_credit;
+      spec.memory_mb = cluster.config().host_memory_mb;
+      spec.ladder = cluster.host(h).cpu().ladder();
+      hosts.push_back(std::move(spec));
+    }
+
+    const consolidation::Placement plan = consolidation::place_ffd(vms, hosts);
+    // Unplaced VMs are an explicit outcome: they stay where they are, and
+    // the count is surfaced so operators see unserved reservations.
+    last_plan_unplaced_ = plan.unplaced;
+
+    std::size_t budget = cfg_.max_migrations_per_tick;
+    for (GlobalVmId gid = 0; gid < cluster.vm_count() && budget > 0; ++gid) {
+      const std::size_t target = plan.assignment[gid];
+      if (target == consolidation::kUnplaced) continue;
+      if (cluster.migrating(gid)) continue;
+      if (static_cast<HostId>(target) == cluster.residence(gid)) continue;
+      if (cluster.migrate(gid, static_cast<HostId>(target))) {
+        ++migrations_issued_;
+        --budget;
+      }
+    }
+  }
+
+  if (cfg_.vovo) {
+    for (HostId h = 0; h < cluster.host_count(); ++h) {
+      if (cluster.host_in_use(h))
+        cluster.set_powered(h, true);
+      else
+        cluster.set_powered(h, false);
+    }
+  }
+
+  apply_dvfs(cluster);
+}
+
+void ClusterManager::apply_dvfs(Cluster& cluster) {
+  for (HostId h = 0; h < cluster.host_count(); ++h) {
+    hv::Host& host = cluster.host(h);
+    const cpu::FrequencyLadder& ladder = host.cpu().ladder();
+
+    std::size_t target = ladder.max_index();
+    if (cfg_.dvfs == ClusterManagerConfig::Dvfs::kPas && cluster.powered_on(h)) {
+      // Listing 1.1 against the smoothed absolute load, with headroom so a
+      // saturated-at-capacity host escalates instead of flapping.
+      const double load = host.monitor().avg_absolute_load_pct() + cfg_.load_margin_pct;
+      target = core::compute_new_freq_index(ladder, load);
+    }
+    const std::size_t applied = host.cpufreq().request(target);
+
+    // Eq. 4: whatever the state, resident VMs keep the computing capacity
+    // they purchased. (At max frequency the compensated credit equals the
+    // purchased credit, so this also undoes stale compensation.)
+    for (GlobalVmId gid = 0; gid < cluster.vm_count(); ++gid) {
+      if (cluster.residence(gid) != h) continue;
+      // A VM in its stop-and-copy pause has been drained from this slot
+      // (cap 0, balance 0); re-capping it would mint credit into an empty
+      // slot. The attach re-establishes the destination cap.
+      if (cluster.engine().detached(gid)) continue;
+      const common::Percent credit = cluster.vm_config(gid).vm.credit;
+      host.scheduler().set_cap(Cluster::slot(gid),
+                               core::compensated_credit(credit, ladder, applied));
+    }
+    host.scheduler().set_cap(0, core::compensated_credit(cluster.config().agent_credit,
+                                                         ladder, applied));
+  }
+}
+
+}  // namespace pas::cluster

@@ -1,0 +1,76 @@
+// Online cluster reconfiguration: the paper's §2.3 loop made dynamic.
+//
+// Every period the manager re-runs the consolidation planner from
+// src/consolidation/ against the fleet's purchased credits and memory
+// footprints (reservations, not demand: SLAs must be honorable whatever
+// the guests do), and converges the cluster toward the plan with a bounded
+// number of live migrations per tick (mass reshuffles are how real
+// consolidation systems melt down). It then applies the paper's two knobs per powered-on
+// host: VOVO — hosts left without residents are powered off, hosts the plan
+// needs are powered on — and PAS-style DVFS: each host drops to the lowest
+// P-state whose capacity covers its observed absolute load plus a margin,
+// with every resident VM's credit re-compensated for the chosen state
+// (eq. 4), so frequency scaling never silently shrinks what a customer
+// bought. Disabling the DVFS step (kPinnedMax) gives the
+// consolidation-only baseline the cluster bench compares against — the gap
+// is the paper's "DVFS is complementary to consolidation", measured on a
+// running fleet instead of a frozen placement.
+//
+// The planner is stateless and its inputs (credits, memory) are static, so
+// the plan is stable between ticks: once the fleet matches it, the manager
+// issues no further migrations until demand moves the DVFS step.
+#pragma once
+
+#include <cstddef>
+
+#include "cluster/cluster.hpp"
+#include "common/units.hpp"
+
+namespace pas::cluster {
+
+struct ClusterManagerConfig {
+  common::SimTime period = common::seconds(60);
+  /// Live-migration budget per tick.
+  std::size_t max_migrations_per_tick = 4;
+  enum class Dvfs {
+    kPinnedMax,  // consolidation only: every powered-on host at max frequency
+    kPas,        // per-host PAS frequency choice + eq. 4 credit compensation
+  };
+  Dvfs dvfs = Dvfs::kPas;
+  /// Capacity margin (absolute % points) the chosen P-state must leave
+  /// above the observed load — the down-scaling headroom that prevents
+  /// saturate/escalate flapping.
+  double load_margin_pct = 5.0;
+  /// Issue migrations at all (off = DVFS-only / static-placement baseline).
+  bool consolidate = true;
+  /// Power empty hosts off / needed hosts on.
+  bool vovo = true;
+};
+
+class ClusterManager {
+ public:
+  explicit ClusterManager(ClusterManagerConfig config = {});
+
+  [[nodiscard]] common::SimTime period() const { return cfg_.period; }
+  [[nodiscard]] const ClusterManagerConfig& config() const { return cfg_; }
+
+  /// One reconfiguration pass; invoked by the Cluster on its event queue.
+  void on_tick(common::SimTime now, Cluster& cluster);
+
+  // --- diagnostics ---
+  [[nodiscard]] std::size_t ticks() const { return ticks_; }
+  [[nodiscard]] std::size_t migrations_issued() const { return migrations_issued_; }
+  /// VMs the *last* plan could not place (left resident where they were —
+  /// the explicit-unplaced contract of consolidation::place_ffd).
+  [[nodiscard]] std::size_t last_plan_unplaced() const { return last_plan_unplaced_; }
+
+ private:
+  void apply_dvfs(Cluster& cluster);
+
+  ClusterManagerConfig cfg_;
+  std::size_t ticks_ = 0;
+  std::size_t migrations_issued_ = 0;
+  std::size_t last_plan_unplaced_ = 0;
+};
+
+}  // namespace pas::cluster

@@ -1,0 +1,162 @@
+#include "cluster/migration.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "core/compensation.hpp"
+#include "workload/synthetic.hpp"
+
+namespace pas::cluster {
+
+namespace {
+
+common::SimTime transfer_time(double mb, double mb_per_s) {
+  const auto us = static_cast<std::int64_t>(std::llround(mb / mb_per_s * 1e6));
+  return common::usec(std::max<std::int64_t>(us, 1));
+}
+
+}  // namespace
+
+MigrationPlan plan_migration(double memory_mb, double dirty_mb_per_s,
+                             const MigrationConfig& config) {
+  if (memory_mb <= 0.0) throw std::invalid_argument("plan_migration: memory must be positive");
+  if (config.link_mb_per_s <= 0.0)
+    throw std::invalid_argument("plan_migration: link bandwidth must be positive");
+  if (dirty_mb_per_s < 0.0)
+    throw std::invalid_argument("plan_migration: negative dirty rate");
+
+  MigrationPlan plan;
+  double pending = memory_mb;
+  std::int64_t precopy_us = 0;
+  for (std::size_t round = 0; round < std::max<std::size_t>(config.max_precopy_rounds, 1);
+       ++round) {
+    plan.round_mb.push_back(pending);
+    const common::SimTime t = transfer_time(pending, config.link_mb_per_s);
+    precopy_us += t.us();
+    // Pages redirtied while this round was in flight; a guest cannot dirty
+    // more than its whole memory.
+    pending = std::min(memory_mb, dirty_mb_per_s * t.sec());
+    if (pending <= config.stop_copy_threshold_mb) break;
+  }
+  plan.stop_copy_mb = pending;
+  plan.precopy_duration = common::usec(precopy_us);
+  plan.downtime =
+      (pending > 0.0 ? transfer_time(pending, config.link_mb_per_s) : common::SimTime{}) +
+      config.switch_latency;
+  return plan;
+}
+
+MigrationEngine::MigrationEngine(MigrationConfig config, sim::EventQueue& events)
+    : cfg_(config), events_(events) {}
+
+bool MigrationEngine::in_flight(GlobalVmId vm) const {
+  return std::any_of(flights_.begin(), flights_.end(),
+                     [vm](const auto& f) { return f->record.vm == vm; });
+}
+
+bool MigrationEngine::detached(GlobalVmId vm) const {
+  return std::any_of(flights_.begin(), flights_.end(), [vm](const auto& f) {
+    return f->record.vm == vm && f->held != nullptr;
+  });
+}
+
+bool MigrationEngine::endpoint_in_flight(HostId host) const {
+  return std::any_of(flights_.begin(), flights_.end(), [host](const auto& f) {
+    return f->record.from == host || f->record.to == host;
+  });
+}
+
+MigrationPlan MigrationEngine::begin(GlobalVmId vm, HostId from, HostId to,
+                                     Endpoint source, Endpoint dest, double memory_mb,
+                                     double dirty_mb_per_s, common::Percent credit_pct,
+                                     common::SimTime now, CompletionFn done) {
+  if (in_flight(vm)) throw std::logic_error("MigrationEngine: VM already in flight");
+  if (source.host == nullptr || dest.host == nullptr)
+    throw std::invalid_argument("MigrationEngine: endpoints required");
+
+  auto flight = std::make_unique<Flight>();
+  Flight* f = flight.get();
+  f->plan = plan_migration(memory_mb, dirty_mb_per_s, cfg_);
+  f->source = source;
+  f->dest = dest;
+  f->credit_pct = credit_pct;
+  f->done = std::move(done);
+  f->record.vm = vm;
+  f->record.from = from;
+  f->record.to = to;
+  f->record.start = now;
+  f->record.stop = now + f->plan.precopy_duration;
+  f->record.end = f->record.stop + f->plan.downtime;
+  f->record.rounds = f->plan.round_mb.size();
+  f->record.transferred_mb = f->plan.transferred_mb();
+  f->record.downtime = f->plan.downtime;
+  flights_.push_back(std::move(flight));
+
+  // Every phase event is scheduled up front: round-overhead injections at
+  // each round's start, the detach at the pause, the attach at completion.
+  // All of them land on the cluster queue, i.e. at instants where every
+  // host is synchronized — the lockstep invariant that keeps fast-path and
+  // reference runs identical.
+  common::SimTime round_start = now;
+  for (std::size_t r = 0; r < f->plan.round_mb.size(); ++r) {
+    const double mb = f->plan.round_mb[r];
+    events_.schedule(round_start,
+                     [this, f, mb](common::SimTime) { inject_round(*f, mb); });
+    round_start += transfer_time(mb, cfg_.link_mb_per_s);
+  }
+  events_.schedule(f->record.stop, [this, f](common::SimTime) {
+    if (f->plan.stop_copy_mb > 0.0) inject_round(*f, f->plan.stop_copy_mb);
+    detach(*f);
+  });
+  events_.schedule(f->record.end, [this, f](common::SimTime) { attach(*f); });
+  return f->plan;
+}
+
+void MigrationEngine::inject_round(Flight& flight, double mb) {
+  flight.source.agent->inject(common::mf_usec(mb * cfg_.source_cpu_us_per_mb));
+  flight.source.host->notify_workload_changed(flight.source.agent_slot);
+  flight.dest.agent->inject(common::mf_usec(mb * cfg_.dest_cpu_us_per_mb));
+  flight.dest.host->notify_workload_changed(flight.dest.agent_slot);
+}
+
+void MigrationEngine::detach(Flight& flight) {
+  assert(flight.held == nullptr);
+  hv::Host& src = *flight.source.host;
+  flight.held = src.swap_workload(flight.source.vm_slot, std::make_unique<wl::IdleGuest>());
+  flight.record.credit_exported = src.scheduler().export_credit(flight.source.vm_slot);
+  // Drain the source slot so credit exists in exactly one place — and zero
+  // its cap so accounting refills stop minting credit into the empty slot
+  // (the attach restores the cap on the destination; a VM in flight earns
+  // nothing, which is also why the pause is SLA-charged).
+  src.scheduler().set_cap(flight.source.vm_slot, 0.0);
+  src.scheduler().import_credit(flight.source.vm_slot, common::SimTime{});
+}
+
+void MigrationEngine::attach(Flight& flight) {
+  assert(flight.held != nullptr);
+  hv::Host& dst = *flight.dest.host;
+  (void)dst.swap_workload(flight.dest.vm_slot, std::move(flight.held));
+  // The destination resumes at the purchased credit compensated (eq. 4)
+  // for the destination's *current* P-state — attaching the raw credit on
+  // a down-scaled host would shrink what the customer bought until the
+  // next manager pass (up to a whole period of SLA violations).
+  dst.scheduler().set_cap(flight.dest.vm_slot,
+                          core::compensated_credit(flight.credit_pct, dst.cpu().ladder(),
+                                                   dst.cpu().current_index()));
+  dst.scheduler().import_credit(flight.dest.vm_slot, flight.record.credit_exported);
+  flight.record.credit_imported = flight.record.credit_exported;
+
+  const MigrationRecord record = flight.record;
+  CompletionFn done = std::move(flight.done);
+  const auto it = std::find_if(flights_.begin(), flights_.end(),
+                               [&](const auto& f) { return f.get() == &flight; });
+  assert(it != flights_.end());
+  flights_.erase(it);
+  completed_.push_back(record);
+  if (done) done(record);
+}
+
+}  // namespace pas::cluster

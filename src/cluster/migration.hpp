@@ -1,0 +1,153 @@
+// Live-migration model: pre-copy with dirty-page rounds, a stop-and-copy
+// downtime window, and hypervisor CPU overhead on both ends.
+//
+// The cost model is the classic pre-copy iteration (Clark et al., the
+// algorithm behind Xen's xl migrate, and the structure mirrored by the
+// related migration-framework repo): round 0 pushes the VM's whole memory
+// over the migration link; while a round of size S transfers (taking
+// S / bandwidth seconds), the still-running guest redirties pages at its
+// dirty rate, and the next round pushes exactly that redirtied set. Rounds
+// shrink geometrically while dirty_rate < bandwidth; once the residual set
+// falls under the stop-and-copy threshold (or the round budget runs out)
+// the VM is paused, the residue is pushed, and execution resumes on the
+// destination. The pause — downtime = residue / bandwidth + switch latency
+// — is the SLA-visible cost; the per-round CPU charges on both hypervisor
+// agents are the energy-visible cost.
+//
+// Everything here is a pure function of the inputs, so a migration's event
+// times are identical across fast-path and reference runs — the property
+// the cluster differential tests pin down.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cluster/hypervisor_agent.hpp"
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "hypervisor/host.hpp"
+#include "sim/event_queue.hpp"
+
+namespace pas::cluster {
+
+/// Index of a host within the cluster.
+using HostId = std::uint32_t;
+/// Cluster-wide VM index (its slot on every host is kFirstGuestSlot + id).
+using GlobalVmId = std::uint32_t;
+
+struct MigrationConfig {
+  /// Effective migration-link bandwidth (a dedicated 10 GbE does ~1 GB/s).
+  double link_mb_per_s = 1000.0;
+  /// Residual dirty set small enough to stop-and-copy.
+  double stop_copy_threshold_mb = 32.0;
+  /// Pre-copy round budget; a guest dirtying faster than the link never
+  /// converges, so the residue is pushed after this many rounds regardless.
+  std::size_t max_precopy_rounds = 8;
+  /// Fixed switch-over cost on top of the residual transfer (ARP updates,
+  /// device re-attach).
+  common::SimTime switch_latency = common::msec(20);
+  /// Hypervisor CPU work per MB pushed/received, in max-frequency
+  /// microseconds — charged to the source/destination agents per round.
+  double source_cpu_us_per_mb = 100.0;
+  double dest_cpu_us_per_mb = 60.0;
+};
+
+struct MigrationPlan {
+  /// Pre-copy rounds; round 0 is the full memory image.
+  std::vector<double> round_mb;
+  /// Residual set pushed during the pause.
+  double stop_copy_mb = 0.0;
+  common::SimTime precopy_duration{};
+  /// Stop-and-copy pause: residue transfer + switch latency.
+  common::SimTime downtime{};
+
+  [[nodiscard]] double transferred_mb() const {
+    double mb = stop_copy_mb;
+    for (const double r : round_mb) mb += r;
+    return mb;
+  }
+};
+
+/// Computes the round structure for a guest of `memory_mb` dirtying at
+/// `dirty_mb_per_s`. Pure; throws std::invalid_argument on non-positive
+/// memory or bandwidth.
+[[nodiscard]] MigrationPlan plan_migration(double memory_mb, double dirty_mb_per_s,
+                                           const MigrationConfig& config);
+
+struct MigrationRecord {
+  GlobalVmId vm = 0;
+  HostId from = 0;
+  HostId to = 0;
+  common::SimTime start{};      // pre-copy begins
+  common::SimTime stop{};       // stop-and-copy pause begins (detach)
+  common::SimTime end{};        // execution resumes on the destination
+  std::size_t rounds = 0;
+  double transferred_mb = 0.0;
+  common::SimTime downtime{};
+  /// Credit balance carried across: export on the source == import on the
+  /// destination (the conservation contract).
+  common::SimTime credit_exported{};
+  common::SimTime credit_imported{};
+};
+
+/// Drives migrations over the cluster's event queue: injects per-round
+/// overhead into both hypervisor agents, detaches the guest at the pause,
+/// and re-attaches it (workload object + credit balance + cap) on the
+/// destination. One engine per cluster; multiple migrations of *different*
+/// VMs may be in flight at once.
+class MigrationEngine {
+ public:
+  /// The per-host handles a migration needs on each end.
+  struct Endpoint {
+    hv::Host* host = nullptr;
+    common::VmId vm_slot = 0;
+    HypervisorAgent* agent = nullptr;
+    common::VmId agent_slot = 0;
+  };
+
+  using CompletionFn = std::function<void(const MigrationRecord&)>;
+
+  MigrationEngine(MigrationConfig config, sim::EventQueue& events);
+
+  /// Starts a live migration at `now`. Schedules every phase event up
+  /// front; `done` fires at attach time, after the guest is runnable on the
+  /// destination. Returns the plan by value (the engine's own copy dies
+  /// with the flight at attach time). Precondition: !in_flight(vm).
+  MigrationPlan begin(GlobalVmId vm, HostId from, HostId to, Endpoint source,
+                      Endpoint dest, double memory_mb, double dirty_mb_per_s,
+                      common::Percent credit_pct, common::SimTime now, CompletionFn done);
+
+  [[nodiscard]] bool in_flight(GlobalVmId vm) const;
+  /// True from the stop-and-copy pause until attach (the guest exists on
+  /// neither host's schedule).
+  [[nodiscard]] bool detached(GlobalVmId vm) const;
+  /// True if any in-flight migration has `host` as source or destination.
+  [[nodiscard]] bool endpoint_in_flight(HostId host) const;
+  [[nodiscard]] std::size_t active_count() const { return flights_.size(); }
+  [[nodiscard]] const std::vector<MigrationRecord>& completed() const { return completed_; }
+  [[nodiscard]] const MigrationConfig& config() const { return cfg_; }
+
+ private:
+  struct Flight {
+    MigrationRecord record;
+    MigrationPlan plan;
+    Endpoint source;
+    Endpoint dest;
+    common::Percent credit_pct = 0.0;
+    std::unique_ptr<wl::Workload> held;  // guest state during the pause
+    CompletionFn done;
+  };
+
+  void inject_round(Flight& flight, double mb);
+  void detach(Flight& flight);
+  void attach(Flight& flight);
+
+  MigrationConfig cfg_;
+  sim::EventQueue& events_;
+  std::vector<std::unique_ptr<Flight>> flights_;  // stable addresses for event captures
+  std::vector<MigrationRecord> completed_;
+};
+
+}  // namespace pas::cluster

@@ -56,7 +56,7 @@ Placement place_ffd(const std::vector<VmSpec>& vms, const std::vector<HostSpec>&
 }
 
 ClusterOutcome evaluate(const Placement& placement, const std::vector<VmSpec>& vms,
-                        const std::vector<HostSpec>& hosts) {
+                        const std::vector<HostSpec>& hosts, bool allow_unplaced) {
   if (placement.assignment.size() != vms.size())
     throw std::invalid_argument("evaluate: placement does not match VM list");
 
@@ -65,7 +65,17 @@ ClusterOutcome evaluate(const Placement& placement, const std::vector<VmSpec>& v
 
   for (std::size_t vi = 0; vi < vms.size(); ++vi) {
     const std::size_t hi = placement.assignment[vi];
-    if (hi == kUnplaced) continue;
+    if (hi == kUnplaced) {
+      if (!allow_unplaced)
+        throw std::invalid_argument(
+            "evaluate: placement leaves \"" + vms[vi].name +
+            "\" unplaced; pass allow_unplaced and handle ClusterOutcome::unplaced_vms");
+      out.unplaced_vms.push_back(vi);
+      out.unplaced_credit_pct += vms[vi].credit;
+      out.unplaced_demand_pct += vms[vi].cpu_demand_pct;
+      out.unplaced_memory_mb += vms[vi].memory_mb;
+      continue;
+    }
     if (hi >= hosts.size()) throw std::invalid_argument("evaluate: bad host index");
     HostOutcome& h = out.hosts[hi];
     h.powered_on = true;

@@ -80,6 +80,15 @@ struct ClusterOutcome {
   /// Mean CPU load of powered-on hosts — §2.3 predicts this stays well
   /// below 100 % once memory binds first.
   double mean_active_load_pct = 0.0;
+  /// VMs the placement left without a host, with the resources the cluster
+  /// is therefore NOT providing. A VM in this list is demand the outcome's
+  /// power and load figures do not cover — callers must surface it (degrade
+  /// the SLA report, buy hosts, shed the customer), never ignore it.
+  std::vector<std::size_t> unplaced_vms;
+  double unplaced_credit_pct = 0.0;
+  double unplaced_demand_pct = 0.0;
+  double unplaced_memory_mb = 0.0;
+  [[nodiscard]] bool all_placed() const { return unplaced_vms.empty(); }
   /// Watts reclaimed by DVFS on top of consolidation.
   [[nodiscard]] double dvfs_saving_watts() const {
     return total_power_max_freq_watts - total_power_watts;
@@ -88,9 +97,16 @@ struct ClusterOutcome {
 
 /// Evaluates a placement: per-host loads, PAS frequency choice, power with
 /// and without DVFS. Powered-off hosts draw nothing (VOVO).
+///
+/// Unplaced VMs are an *explicit* outcome, not silently free capacity: by
+/// default a placement with unplaced VMs throws std::invalid_argument.
+/// Callers that can genuinely degrade (report the shortfall, run partial)
+/// pass `allow_unplaced = true` and must consume `ClusterOutcome::
+/// unplaced_vms` / the unplaced_* aggregates.
 [[nodiscard]] ClusterOutcome evaluate(const Placement& placement,
                                       const std::vector<VmSpec>& vms,
-                                      const std::vector<HostSpec>& hosts);
+                                      const std::vector<HostSpec>& hosts,
+                                      bool allow_unplaced = false);
 
 /// Convenience: a fleet of identical hosts.
 [[nodiscard]] std::vector<HostSpec> uniform_fleet(std::size_t count, const HostSpec& spec);

@@ -38,6 +38,25 @@ common::VmId Host::add_vm(VmConfig config, std::unique_ptr<wl::Workload> workloa
   return id;
 }
 
+std::unique_ptr<wl::Workload> Host::swap_workload(common::VmId id,
+                                                  std::unique_ptr<wl::Workload> replacement) {
+  if (replacement == nullptr) throw std::invalid_argument("Host: replacement workload required");
+  Vm& vm = vms_.at(id);
+  std::unique_ptr<wl::Workload> old = std::move(vm.workload);
+  vm.workload = std::move(replacement);
+  vm.blocked_this_slice = false;
+  notify_workload_changed(id);
+  return old;
+}
+
+void Host::notify_workload_changed(common::VmId id) {
+  if (id >= vms_.size()) throw std::out_of_range("Host: bad VM id");
+  if (!tasks_installed_) return;  // the first quantum polls everything anyway
+  // Treat the slot exactly like one that just ran: the cached runnable flag
+  // and transition hint may be stale, so the next refresh re-polls it.
+  wl_ran_[id] = 1;
+}
+
 void Host::set_governor(std::unique_ptr<gov::Governor> governor) {
   if (tasks_installed_) throw std::logic_error("Host: set_governor after run started");
   governor_ = std::move(governor);

@@ -87,6 +87,24 @@ class Host {
   /// Advances simulation to absolute time `until`.
   void run_until(common::SimTime until);
 
+  /// Replaces a VM slot's workload and returns the previous one — the
+  /// mechanism behind live migration: the cluster layer detaches a guest
+  /// from its source slot (parking an idle placeholder there) and attaches
+  /// it into a slot on the destination host. Callable between run_until
+  /// calls only (hosts in a cluster are always synchronized to a common
+  /// instant at that point). The fast path's cached runnable state for the
+  /// slot is invalidated, so the next quantum re-polls the new workload
+  /// exactly as the slow-stepped loop would.
+  std::unique_ptr<wl::Workload> swap_workload(common::VmId id,
+                                              std::unique_ptr<wl::Workload> replacement);
+
+  /// Declares that a workload's state was changed externally (work injected
+  /// into a hypervisor agent, a profile rewritten): the fast path drops its
+  /// cached runnable flag and transition hint for the slot and re-polls at
+  /// the next quantum. No-op in reference mode, which re-polls everything
+  /// anyway.
+  void notify_workload_changed(common::VmId id);
+
   // --- accessors ---
   [[nodiscard]] common::SimTime now() const { return now_; }
   [[nodiscard]] std::size_t vm_count() const { return vms_.size(); }

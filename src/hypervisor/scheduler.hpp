@@ -83,6 +83,22 @@ class Scheduler {
     (void)vm;
     return 1.0;
   }
+
+  /// Live-migration support: the VM's scheduling state that must travel with
+  /// it (today: the credit balance, a *time* share). export_credit reads it
+  /// on the source host; import_credit installs it on the destination — the
+  /// conservation contract is export on A == import on B, so credit is
+  /// neither minted nor burned in flight. Schedulers without a transferable
+  /// balance (SEDF's deadlines are host-local) keep the defaults: export
+  /// zero, ignore imports.
+  [[nodiscard]] virtual common::SimTime export_credit(common::VmId vm) const {
+    (void)vm;
+    return common::SimTime{};
+  }
+  virtual void import_credit(common::VmId vm, common::SimTime balance) {
+    (void)vm;
+    (void)balance;
+  }
 };
 
 }  // namespace pas::hv

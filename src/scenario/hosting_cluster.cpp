@@ -1,0 +1,76 @@
+#include "scenario/hosting_cluster.hpp"
+
+#include <string>
+
+#include "workload/load_profile.hpp"
+#include "workload/pi_app.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/web_app.hpp"
+
+namespace pas::scenario {
+
+std::unique_ptr<cluster::Cluster> build_hosting_cluster(const HostingClusterConfig& config) {
+  cluster::ClusterConfig cc;
+  cc.host.trace_stride = config.trace_stride;
+  cc.host.event_driven_fast_path = config.fast_path;
+  cc.host_count = config.hosts;
+  cc.host_memory_mb = config.host_memory_mb;
+  auto cluster = std::make_unique<cluster::Cluster>(std::move(cc));
+
+  const auto horizon_s = config.horizon.us() / 1'000'000;
+  const auto hosts = static_cast<cluster::HostId>(config.hosts);
+
+  // Tenant mix per block of 16 VMs: 4 web, 3 thrashing hogs, 3 batch jobs,
+  // 6 reserved-but-idle — the single-host bench's proportions. Every VM
+  // starts on host (i % hosts): maximally spread, so consolidation has the
+  // whole distance to cover.
+  for (std::size_t i = 0; i < config.vms; ++i) {
+    const std::size_t kind = i % 16;
+    const auto home = static_cast<cluster::HostId>(i % hosts);
+    cluster::ClusterVmConfig vc;
+    std::unique_ptr<wl::Workload> workload;
+    if (kind < 4) {  // web tenant: request pulse over 1/8 of the day
+      vc.vm.name = "web" + std::to_string(i);
+      vc.vm.credit = 4.0;
+      vc.memory_mb = 512.0;
+      vc.dirty_mb_per_s = 30.0;
+      wl::WebAppConfig wc;
+      wc.queue_capacity = 500;
+      wc.seed = config.seed * 1000 + i;
+      const double rate = wl::WebApp::rate_for_demand(vc.vm.credit, wc.request_cost);
+      const auto from = common::seconds(horizon_s * (i % 32) / 64);
+      const auto until = common::seconds(horizon_s * (i % 32) / 64 + horizon_s / 8);
+      workload = std::make_unique<wl::WebApp>(wl::LoadProfile::pulse(from, until, rate), wc);
+    } else if (kind < 7) {  // thrashing hog under its cap
+      vc.vm.name = "hog" + std::to_string(i);
+      vc.vm.credit = 3.0;
+      vc.memory_mb = 768.0;
+      vc.dirty_mb_per_s = 60.0;
+      const auto from = common::seconds(horizon_s / 8 + horizon_s * (i % 24) / 48);
+      const auto until = common::seconds(horizon_s / 8 + horizon_s * (i % 24) / 48 +
+                                         horizon_s / 12);
+      workload = std::make_unique<wl::GatedBusyLoop>(wl::LoadProfile::pulse(from, until, 1.0));
+    } else if (kind < 10) {  // batch pi job, staggered start
+      vc.vm.name = "batch" + std::to_string(i);
+      vc.vm.credit = 5.0;
+      vc.memory_mb = 1024.0;
+      vc.dirty_mb_per_s = 40.0;
+      workload = std::make_unique<wl::PiApp>(
+          common::mf_seconds(static_cast<double>(horizon_s) / 400.0),
+          common::seconds(horizon_s * (i % 16) / 16));
+    } else {  // reserved but idle
+      vc.vm.name = "idle" + std::to_string(i);
+      vc.vm.credit = 2.0;
+      vc.memory_mb = 256.0;
+      vc.dirty_mb_per_s = 5.0;
+      workload = std::make_unique<wl::IdleGuest>();
+    }
+    cluster->add_vm(std::move(vc), std::move(workload), home);
+  }
+
+  if (config.install_manager)
+    cluster->install_manager(std::make_unique<cluster::ClusterManager>(config.manager));
+  return cluster;
+}
+
+}  // namespace pas::scenario

@@ -1,0 +1,42 @@
+// Hosting-center cluster scenario: the multi-host successor of the two-VM
+// profile — a fleet of hosts, dozens of tenants with day-cycle demand, an
+// online consolidation manager migrating VMs at runtime.
+//
+// The mix follows the single-host throughput bench (web / thrashing /
+// batch / reserved-idle tenants with staggered activity), but VMs start
+// deliberately spread round-robin across every host: the interesting
+// dynamics are the manager packing them (memory-bound, §2.3), powering
+// hosts off, and scaling the survivors' frequency down. Used by
+// bench_cluster_consolidation, example_hosting_center and the cluster
+// tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "cluster/cluster.hpp"
+#include "cluster/cluster_manager.hpp"
+#include "common/units.hpp"
+
+namespace pas::scenario {
+
+struct HostingClusterConfig {
+  std::size_t hosts = 8;
+  std::size_t vms = 64;
+  /// Shapes the activity pulses; runs shorter than this leave some tenants
+  /// never-active (harmless), longer ones extend the idle tail.
+  common::SimTime horizon = common::seconds(4000);
+  std::uint64_t seed = 17;
+  bool fast_path = true;
+  common::SimTime trace_stride = common::seconds(10);
+  double host_memory_mb = 8192.0;
+  /// Manager configuration; install_manager=false gives the static spread
+  /// baseline (no consolidation, no DVFS).
+  cluster::ClusterManagerConfig manager;
+  bool install_manager = true;
+};
+
+[[nodiscard]] std::unique_ptr<cluster::Cluster> build_hosting_cluster(
+    const HostingClusterConfig& config);
+
+}  // namespace pas::scenario

@@ -53,6 +53,12 @@ class Credit2Scheduler final : public hv::Scheduler {
   void set_cap(common::VmId vm, common::Percent cap_pct) override;
   [[nodiscard]] common::Percent cap(common::VmId vm) const override;
   [[nodiscard]] bool work_conserving() const override { return !cfg_.enforce_caps; }
+  [[nodiscard]] common::SimTime export_credit(common::VmId vm) const override {
+    return common::usec(vms_.at(vm).balance_us);
+  }
+  void import_credit(common::VmId vm, common::SimTime balance) override {
+    vms_.at(vm).balance_us = balance.us();
+  }
 
   /// Weight of a VM (== its configured credit; diagnostics/tests).
   [[nodiscard]] double weight(common::VmId vm) const;

@@ -120,6 +120,19 @@ void CreditScheduler::set_cap(common::VmId vm, common::Percent cap_pct) {
 
 common::Percent CreditScheduler::cap(common::VmId vm) const { return vms_.at(vm).cap_pct; }
 
+common::SimTime CreditScheduler::export_credit(common::VmId vm) const {
+  return common::usec(vms_.at(vm).balance_us);
+}
+
+void CreditScheduler::import_credit(common::VmId vm, common::SimTime balance) {
+  Entry& e = vms_.at(vm);
+  // The imported balance replaces whatever the (previously idle) slot
+  // accrued; it is NOT clamped to the burst limit — a migrating VM must not
+  // lose credit in flight.
+  e.balance_us = balance.us();
+  update_under(e);
+}
+
 common::SimTime CreditScheduler::balance(common::VmId vm) const {
   return common::usec(vms_.at(vm).balance_us);
 }

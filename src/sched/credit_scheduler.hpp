@@ -49,6 +49,8 @@ class CreditScheduler final : public hv::Scheduler {
   void set_cap(common::VmId vm, common::Percent cap_pct) override;
   [[nodiscard]] common::Percent cap(common::VmId vm) const override;
   [[nodiscard]] bool work_conserving() const override { return false; }
+  [[nodiscard]] common::SimTime export_credit(common::VmId vm) const override;
+  void import_credit(common::VmId vm, common::SimTime balance) override;
 
   /// Current balance (diagnostic / tests).
   [[nodiscard]] common::SimTime balance(common::VmId vm) const;

@@ -1,0 +1,304 @@
+// Conservation across live migration: the guest's consumed CPU work, its
+// purchased credit balance, and the cluster's accumulated energy must be
+// neither double-counted nor lost while state crosses host boundaries —
+// including through the stop-and-copy pause, when the workload object
+// exists on no host's schedule at all.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cluster/cluster.hpp"
+#include "cluster/cluster_manager.hpp"
+#include "cluster/migration.hpp"
+#include "core/compensation.hpp"
+#include "sched/credit_scheduler.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/web_app.hpp"
+
+namespace pas::cluster {
+namespace {
+
+using common::msec;
+using common::seconds;
+using common::SimTime;
+
+ClusterConfig two_host_config() {
+  ClusterConfig cc;
+  cc.host_count = 2;
+  cc.host.trace_stride = SimTime{};  // no tracing: pure accounting
+  return cc;
+}
+
+ClusterVmConfig hog_vm(const char* name, double credit, double memory_mb) {
+  ClusterVmConfig vc;
+  vc.vm.name = name;
+  vc.vm.credit = credit;
+  vc.memory_mb = memory_mb;
+  vc.dirty_mb_per_s = 50.0;
+  return vc;
+}
+
+TEST(MigrationPlanTest, ConvergentGuestStopsEarly) {
+  MigrationConfig cfg;  // 1000 MB/s link, 32 MB threshold
+  const MigrationPlan plan = plan_migration(512.0, 50.0, cfg);
+  // Round 0 pushes 512 MB in 0.512 s; the guest redirties 25.6 MB — under
+  // the threshold, so stop-and-copy follows immediately.
+  ASSERT_EQ(plan.round_mb.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.round_mb[0], 512.0);
+  EXPECT_NEAR(plan.stop_copy_mb, 25.6, 1e-9);
+  EXPECT_EQ(plan.precopy_duration, common::usec(512'000));
+  EXPECT_EQ(plan.downtime, common::usec(25'600) + cfg.switch_latency);
+  EXPECT_NEAR(plan.transferred_mb(), 537.6, 1e-9);
+}
+
+TEST(MigrationPlanTest, FastDirtierNeedsMoreRounds) {
+  MigrationConfig cfg;
+  const MigrationPlan slow_dirtier = plan_migration(1024.0, 50.0, cfg);
+  const MigrationPlan fast_dirtier = plan_migration(1024.0, 400.0, cfg);
+  EXPECT_GT(fast_dirtier.round_mb.size(), slow_dirtier.round_mb.size());
+  EXPECT_GT(fast_dirtier.transferred_mb(), slow_dirtier.transferred_mb());
+}
+
+TEST(MigrationPlanTest, NonConvergentGuestHitsRoundBudget) {
+  MigrationConfig cfg;
+  // Dirtying faster than the link: rounds never shrink.
+  const MigrationPlan plan = plan_migration(1024.0, 2000.0, cfg);
+  EXPECT_EQ(plan.round_mb.size(), cfg.max_precopy_rounds);
+  // The residue is the whole memory: downtime is a full-memory push.
+  EXPECT_NEAR(plan.stop_copy_mb, 1024.0, 1e-9);
+  EXPECT_EQ(plan.downtime, common::usec(1'024'000) + cfg.switch_latency);
+}
+
+TEST(MigrationPlanTest, RejectsBadInputs) {
+  MigrationConfig cfg;
+  EXPECT_THROW((void)plan_migration(0.0, 50.0, cfg), std::invalid_argument);
+  EXPECT_THROW((void)plan_migration(512.0, -1.0, cfg), std::invalid_argument);
+  cfg.link_mb_per_s = 0.0;
+  EXPECT_THROW((void)plan_migration(512.0, 50.0, cfg), std::invalid_argument);
+}
+
+TEST(MigrationConservationTest, WorkCreditAndEnergyConserved) {
+  Cluster cluster{two_host_config()};
+  auto hog = std::make_unique<wl::BusyLoop>();
+  const wl::BusyLoop* hog_ptr = hog.get();
+  const GlobalVmId vm = cluster.add_vm(hog_vm("hog", 20.0, 512.0), std::move(hog), 0);
+  const common::VmId s = Cluster::slot(vm);
+
+  cluster.run_until(seconds(10));
+  EXPECT_EQ(cluster.residence(vm), 0u);
+  const common::Work work_on_source_before = cluster.host(0).vm(s).total_work;
+  EXPECT_GT(work_on_source_before, common::Work{});
+  EXPECT_EQ(cluster.host(1).vm(s).total_work, common::Work{});
+
+  ASSERT_TRUE(cluster.migrate(vm, 1));
+  EXPECT_TRUE(cluster.migrating(vm));
+  EXPECT_FALSE(cluster.migrate(vm, 1)) << "double-migrate must be refused";
+
+  // Compute the expected timeline from the pure cost model and stop the
+  // simulation at each phase edge.
+  const MigrationPlan plan =
+      plan_migration(512.0, 50.0, cluster.config().migration);
+  const SimTime stop = seconds(10) + plan.precopy_duration;
+  const SimTime end = stop + plan.downtime;
+
+  // Pre-copy: the guest keeps running on the source.
+  cluster.run_until(stop);
+  const common::Work work_at_stop = cluster.host(0).vm(s).total_work;
+  EXPECT_GT(work_at_stop, work_on_source_before);
+  EXPECT_EQ(cluster.residence(vm), 0u);
+
+  // Stop-and-copy: the guest runs nowhere; no work may appear anywhere.
+  cluster.run_until(end);
+  EXPECT_EQ(cluster.host(0).vm(s).total_work, work_at_stop);
+  EXPECT_EQ(cluster.host(1).vm(s).total_work, common::Work{});
+  EXPECT_EQ(cluster.residence(vm), 1u);  // attach fired exactly at `end`
+
+  ASSERT_EQ(cluster.migrations().size(), 1u);
+  const MigrationRecord& rec = cluster.migrations().front();
+  EXPECT_EQ(rec.vm, vm);
+  EXPECT_EQ(rec.from, 0u);
+  EXPECT_EQ(rec.to, 1u);
+  EXPECT_EQ(rec.start, seconds(10));
+  EXPECT_EQ(rec.stop, stop);
+  EXPECT_EQ(rec.end, end);
+  EXPECT_EQ(rec.downtime, plan.downtime);
+
+  // Credit conservation: what left the source arrived at the destination,
+  // exactly, and the source slot was drained.
+  EXPECT_EQ(rec.credit_exported, rec.credit_imported);
+  auto& src_sched = dynamic_cast<sched::CreditScheduler&>(cluster.host(0).scheduler());
+  auto& dst_sched = dynamic_cast<sched::CreditScheduler&>(cluster.host(1).scheduler());
+  EXPECT_EQ(src_sched.balance(s), SimTime{});
+  EXPECT_EQ(dst_sched.balance(s), rec.credit_exported);
+
+  // Destination takes over; total work across the fleet equals what the
+  // (single, moved) workload object consumed — nothing doubled or lost.
+  cluster.run_until(seconds(30));
+  EXPECT_GT(cluster.host(1).vm(s).total_work, common::Work{});
+  EXPECT_EQ(cluster.host(0).vm(s).total_work, work_at_stop);
+  const ClusterVmStats stats = cluster.vm_stats(vm);
+  EXPECT_EQ(stats.total_work,
+            cluster.host(0).vm(s).total_work + cluster.host(1).vm(s).total_work);
+  EXPECT_EQ(stats.total_work, hog_ptr->total_consumed());
+  EXPECT_EQ(stats.migrations, 1u);
+  EXPECT_EQ(stats.downtime, plan.downtime);
+
+  // Energy: with every host powered on, the cluster meter is exactly the
+  // sum of the per-host meters.
+  EXPECT_DOUBLE_EQ(cluster.energy_joules(),
+                   cluster.host(0).energy().joules() + cluster.host(1).energy().joules());
+}
+
+TEST(MigrationConservationTest, DowntimeChargedToSla) {
+  Cluster cluster{two_host_config()};
+  // An idle guest: its regular windows are never saturated, so the ONLY
+  // SLA-visible time is the migration pause — which must be charged in
+  // full, idle or not (the customer could not have used what they bought).
+  const GlobalVmId vm =
+      cluster.add_vm(hog_vm("sleeper", 15.0, 256.0), std::make_unique<wl::IdleGuest>(), 0);
+  cluster.run_until(seconds(5));
+  ASSERT_TRUE(cluster.migrate(vm, 1));
+  cluster.run_until(seconds(20));
+
+  ASSERT_EQ(cluster.migrations().size(), 1u);
+  const SimTime downtime = cluster.migrations().front().downtime;
+  EXPECT_GT(downtime, SimTime{});
+  EXPECT_EQ(cluster.sla().violation_time(vm), downtime);
+  EXPECT_EQ(cluster.sla().observed_time(vm), downtime);
+  EXPECT_DOUBLE_EQ(cluster.sla().worst_shortfall_pct(vm), 15.0);
+}
+
+TEST(MigrationConservationTest, HypervisorOverheadChargedToBothAgents) {
+  Cluster cluster{two_host_config()};
+  const GlobalVmId vm =
+      cluster.add_vm(hog_vm("hog", 10.0, 512.0), std::make_unique<wl::BusyLoop>(), 0);
+  cluster.run_until(seconds(5));
+  ASSERT_TRUE(cluster.migrate(vm, 1));
+  cluster.run_until(seconds(20));
+
+  const MigrationConfig& mc = cluster.config().migration;
+  const double mb = cluster.migrations().front().transferred_mb;
+  // Every transferred MB cost both hypervisors CPU; by t=20 the agents had
+  // ample credit to absorb it all.
+  EXPECT_DOUBLE_EQ(cluster.agent(0).total_performed().mfus(), mb * mc.source_cpu_us_per_mb);
+  EXPECT_DOUBLE_EQ(cluster.agent(1).total_performed().mfus(), mb * mc.dest_cpu_us_per_mb);
+  EXPECT_GT(cluster.host(0).vm(0).total_busy, SimTime{});
+  EXPECT_GT(cluster.host(1).vm(0).total_busy, SimTime{});
+}
+
+TEST(MigrationConservationTest, VovoGatesEnergyExactly) {
+  Cluster cluster{two_host_config()};
+  const GlobalVmId vm =
+      cluster.add_vm(hog_vm("hog", 20.0, 256.0), std::make_unique<wl::BusyLoop>(), 0);
+  cluster.run_until(seconds(4));
+  ASSERT_TRUE(cluster.migrate(vm, 1));
+  cluster.run_until(seconds(8));
+  ASSERT_EQ(cluster.residence(vm), 1u);
+
+  // Host 0 is empty now; powering it off freezes its cluster-counted
+  // energy while its own meter keeps running (the host still follows the
+  // clock).
+  EXPECT_FALSE(cluster.set_powered(1, false)) << "must refuse: host 1 has a resident";
+  ASSERT_TRUE(cluster.set_powered(0, false));
+  const double host0_at_off = cluster.host(0).energy().joules();
+  cluster.run_until(seconds(16));
+  EXPECT_GT(cluster.host(0).energy().joules(), host0_at_off) << "host meter keeps running";
+  EXPECT_DOUBLE_EQ(cluster.energy_joules(),
+                   host0_at_off + cluster.host(1).energy().joules());
+
+  // Power back on: growth counts again, the off-interval stays excluded.
+  const double host0_at_on = cluster.host(0).energy().joules();
+  ASSERT_TRUE(cluster.set_powered(0, true));
+  cluster.run_until(seconds(20));
+  EXPECT_DOUBLE_EQ(cluster.energy_joules(),
+                   host0_at_off + (cluster.host(0).energy().joules() - host0_at_on) +
+                       cluster.host(1).energy().joules());
+}
+
+TEST(MigrationConservationTest, ManagerTickDuringPauseDoesNotMintCredit) {
+  // Regression: a manager pass landing inside the stop-and-copy pause must
+  // not re-cap the drained source slot — that would let accounting refills
+  // mint credit into a slot whose VM is in flight (credit existing in two
+  // places once the attach imports the exported balance).
+  Cluster cluster{two_host_config()};
+  ClusterManagerConfig mc;
+  mc.period = msec(200);      // many ticks inside the pause
+  mc.consolidate = false;     // the migration below is scripted
+  mc.vovo = false;
+  cluster.install_manager(std::make_unique<ClusterManager>(mc));
+  // Non-convergent dirtier: 8 rounds of 1024 MB, then a ~1.044 s pause.
+  ClusterVmConfig vc = hog_vm("dirtier", 20.0, 1024.0);
+  vc.dirty_mb_per_s = 2000.0;
+  const GlobalVmId vm = cluster.add_vm(std::move(vc), std::make_unique<wl::BusyLoop>(), 0);
+  const common::VmId s = Cluster::slot(vm);
+
+  cluster.run_until(seconds(2));
+  ASSERT_TRUE(cluster.migrate(vm, 1));
+  const MigrationPlan plan =
+      plan_migration(1024.0, 2000.0, cluster.config().migration);
+  const SimTime stop = seconds(2) + plan.precopy_duration;
+  ASSERT_GT(plan.downtime, msec(1000)) << "pause must span manager ticks";
+
+  // Mid-pause, after at least one manager tick: the source slot stays
+  // fully drained.
+  cluster.run_until(stop + msec(500));
+  auto& src_sched = dynamic_cast<sched::CreditScheduler&>(cluster.host(0).scheduler());
+  EXPECT_DOUBLE_EQ(src_sched.cap(s), 0.0);
+  EXPECT_EQ(src_sched.balance(s), SimTime{});
+
+  cluster.run_until(stop + plan.downtime);
+  ASSERT_EQ(cluster.migrations().size(), 1u);
+  const MigrationRecord& rec = cluster.migrations().front();
+  auto& dst_sched = dynamic_cast<sched::CreditScheduler&>(cluster.host(1).scheduler());
+  EXPECT_EQ(dst_sched.balance(s), rec.credit_exported);
+  EXPECT_EQ(rec.credit_exported, rec.credit_imported);
+}
+
+TEST(MigrationConservationTest, AttachCompensatesForDestinationFrequency) {
+  // A VM landing on a down-scaled host must resume at the eq.-4
+  // compensated cap, not the raw purchased credit — otherwise the move
+  // silently shrinks what the customer bought until the next manager pass.
+  Cluster cluster{two_host_config()};
+  const GlobalVmId vm =
+      cluster.add_vm(hog_vm("hog", 20.0, 256.0), std::make_unique<wl::BusyLoop>(), 0);
+  cluster.host(1).cpufreq().request(0);  // destination parked at the lowest P-state
+  cluster.run_until(seconds(2));
+  ASSERT_TRUE(cluster.migrate(vm, 1));
+  cluster.run_until(seconds(6));
+  ASSERT_EQ(cluster.residence(vm), 1u);
+  const cpu::FrequencyLadder& ladder = cluster.host(1).cpu().ladder();
+  EXPECT_DOUBLE_EQ(cluster.host(1).scheduler().cap(Cluster::slot(vm)),
+                   core::compensated_credit(20.0, ladder, 0));
+  EXPECT_GT(cluster.host(1).scheduler().cap(Cluster::slot(vm)), 20.0);
+}
+
+TEST(MigrationConservationTest, OpenLoopArrivalsSurviveTheMove) {
+  // A web tenant's open-loop injector keeps generating demand while the VM
+  // is paused; every request must be delivered (queued) after attach, none
+  // lost — the advance_to coarsening contract across the handoff.
+  Cluster cluster{two_host_config()};
+  ClusterVmConfig vc = hog_vm("web", 10.0, 512.0);
+  wl::WebAppConfig wc;
+  wc.seed = 99;
+  const double rate = wl::WebApp::rate_for_demand(8.0, wc.request_cost);
+  auto web = std::make_unique<wl::WebApp>(wl::LoadProfile::constant(rate), wc);
+  const wl::WebApp* web_ptr = web.get();
+  const GlobalVmId vm = cluster.add_vm(std::move(vc), std::move(web), 0);
+
+  cluster.run_until(seconds(10));
+  ASSERT_TRUE(cluster.migrate(vm, 1));
+  cluster.run_until(seconds(30));
+
+  // ~8 req/s for 30 s minus boundary effects; served work equals the
+  // fleet-wide accounting for the slot.
+  EXPECT_NEAR(static_cast<double>(web_ptr->arrived()),
+              rate * 30.0, rate * 1.0);
+  EXPECT_EQ(web_ptr->dropped(), 0u);
+  // Per-host accumulators sum in a different order than the workload's own
+  // counter; equality holds up to floating-point associativity.
+  EXPECT_NEAR(cluster.vm_stats(vm).total_work.mfus(), web_ptr->work_served().mfus(),
+              1e-9 * web_ptr->work_served().mfus());
+}
+
+}  // namespace
+}  // namespace pas::cluster

@@ -131,6 +131,40 @@ TEST(EvaluateTest, MemoryPressureIncreasesDvfsValue) {
   EXPECT_EQ(last_hosts, 4u);  // 2 GB VMs: two per 4 GB host
 }
 
+TEST(EvaluateTest, ThrowsOnUnplacedByDefault) {
+  // Unplaced VMs are unserved demand, not free capacity: a caller that does
+  // not opt into partial placements must not get a silently smaller bill.
+  const auto hosts = uniform_fleet(1, host_4g());
+  const std::vector<VmSpec> vms{vm(10, 8192, 5), vm(10, 512, 10)};
+  const Placement p = place_ffd(vms, hosts);
+  ASSERT_EQ(p.unplaced, 1u);
+  EXPECT_THROW((void)evaluate(p, vms, hosts), std::invalid_argument);
+}
+
+TEST(EvaluateTest, UnplacedExplicitWhenAllowed) {
+  const auto hosts = uniform_fleet(1, host_4g());
+  const std::vector<VmSpec> vms{vm(10, 8192, 5), vm(10, 512, 10)};
+  const Placement p = place_ffd(vms, hosts);
+  const auto outcome = evaluate(p, vms, hosts, /*allow_unplaced=*/true);
+  EXPECT_FALSE(outcome.all_placed());
+  ASSERT_EQ(outcome.unplaced_vms.size(), 1u);
+  EXPECT_EQ(outcome.unplaced_vms[0], 0u);
+  EXPECT_DOUBLE_EQ(outcome.unplaced_credit_pct, 10.0);
+  EXPECT_DOUBLE_EQ(outcome.unplaced_demand_pct, 5.0);
+  EXPECT_DOUBLE_EQ(outcome.unplaced_memory_mb, 8192.0);
+  // The placed VM is still evaluated normally.
+  EXPECT_EQ(outcome.hosts_on, 1u);
+  EXPECT_DOUBLE_EQ(outcome.hosts[0].cpu_load_pct, 10.0);
+}
+
+TEST(EvaluateTest, FullyPlacedReportsAllPlaced) {
+  const auto hosts = uniform_fleet(1, host_4g());
+  const std::vector<VmSpec> vms{vm(10, 512, 10)};
+  const auto outcome = evaluate(place_ffd(vms, hosts), vms, hosts);
+  EXPECT_TRUE(outcome.all_placed());
+  EXPECT_DOUBLE_EQ(outcome.unplaced_credit_pct, 0.0);
+}
+
 TEST(EvaluateTest, RejectsMismatchedPlacement) {
   const auto hosts = uniform_fleet(1, host_4g());
   Placement p;
