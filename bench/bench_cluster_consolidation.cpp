@@ -19,9 +19,18 @@
 // and records simulated-seconds-per-wall-second, with an optional floor
 // for CI (--require-rate=2000).
 //
+// --threads=N additionally runs the same scenario on the parallel cluster
+// engine (N executors stepping host segments on a thread pool) and records
+// serial-vs-parallel wall time as `parallel_speedup`. The parallel run
+// must be byte-identical to the serial one — that gate is always on —
+// and --require-parallel-speedup=X turns the speedup into a CI floor
+// (full runs only; --smoke keeps the exactness check but is exempt from
+// the speedup gate, which needs real cores and a real horizon).
+//
 // Usage: bench_cluster_consolidation [--smoke] [--horizon=SECONDS]
 //          [--hosts=8] [--vms=64] [--out=BENCH_cluster.json]
-//          [--require-rate=RATE]
+//          [--require-rate=RATE] [--threads=N]
+//          [--require-parallel-speedup=X]
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -31,6 +40,7 @@
 #include "cluster/cluster.hpp"
 #include "cluster/cluster_manager.hpp"
 #include "common/flags.hpp"
+#include "common/thread_pool.hpp"
 #include "scenario/hosting_cluster.hpp"
 
 namespace {
@@ -124,6 +134,30 @@ int main(int argc, char** argv) {
   std::printf("  speedup: %.2fx   traces identical: %s\n", speedup,
               identical ? "yes" : "NO — BUG");
 
+  // --- the parallel engine: same scenario, host segments on a pool ---
+  // --threads follows ExecutionPolicy semantics: 1 (the default) = serial
+  // only, no parallel measurement; 0 = hardware concurrency; N > 1 = N.
+  auto threads = static_cast<std::size_t>(flags.get_int("threads", 1));
+  if (threads == 0) threads = pas::common::ThreadPool::hardware_threads();
+  double par_wall = 0.0;
+  double par_rate = 0.0;
+  double parallel_speedup = 0.0;
+  bool parallel_identical = true;
+  if (threads > 1) {
+    auto cfg_par = base;
+    cfg_par.fast_path = true;
+    cfg_par.threads = threads;
+    auto par = pas::scenario::build_hosting_cluster(cfg_par);
+    par_wall = run_timed(*par, horizon);
+    par_rate = static_cast<double>(horizon_s) / par_wall;
+    parallel_speedup = fast_wall / par_wall;
+    parallel_identical = clusters_identical(*fast, *par);
+    std::printf("  parallel (%zu thr)  : %8.2f wall ms   %10.0f sim-s/wall-s   "
+                "%.2fx vs serial   identical: %s\n",
+                threads, par_wall * 1e3, par_rate, parallel_speedup,
+                parallel_identical ? "yes" : "NO — BUG");
+  }
+
   // --- the dynamic §2.3 figure ---
   // (c) consolidation + PAS is the fast run above; (a) and (b) rerun the
   // same tenants under the other policies.
@@ -159,7 +193,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "bench_cluster_consolidation: cannot write %s\n", out.c_str());
       return 2;
     }
-    char buf[1536];
+    char buf[2048];
     std::snprintf(buf, sizeof(buf),
                   "{\n"
                   "  \"bench\": \"cluster_consolidation\",\n"
@@ -171,6 +205,10 @@ int main(int argc, char** argv) {
                   "  \"fast\": {\"wall_seconds\": %.6f, \"sim_per_wall\": %.1f},\n"
                   "  \"speedup\": %.3f,\n"
                   "  \"traces_identical\": %s,\n"
+                  "  \"parallel\": {\"threads\": %zu, \"wall_seconds\": %.6f, "
+                  "\"sim_per_wall\": %.1f},\n"
+                  "  \"parallel_speedup\": %.3f,\n"
+                  "  \"parallel_identical\": %s,\n"
                   "  \"watts_static_spread\": %.3f,\n"
                   "  \"watts_consolidation_only\": %.3f,\n"
                   "  \"watts_consolidation_pas\": %.3f,\n"
@@ -180,9 +218,11 @@ int main(int argc, char** argv) {
                   "  \"hosts_on_final\": %zu\n"
                   "}\n",
                   hosts, vms, hosts, vms, horizon_s, slow_wall, slow_rate, fast_wall,
-                  fast_rate, speedup, identical ? "true" : "false", watts_spread,
-                  watts_consol, watts_pas, consolidation_saving, dvfs_saving,
-                  fast->migrations().size(), fast->powered_on_count());
+                  fast_rate, speedup, identical ? "true" : "false", threads > 1 ? threads : 0,
+                  par_wall, par_rate, parallel_speedup,
+                  parallel_identical ? "true" : "false", watts_spread, watts_consol,
+                  watts_pas, consolidation_saving, dvfs_saving, fast->migrations().size(),
+                  fast->powered_on_count());
     js << buf;
     std::printf("  written to %s\n", out.c_str());
   }
@@ -190,6 +230,22 @@ int main(int argc, char** argv) {
   if (!identical) {
     std::printf("  FAIL: fast path diverged from the reference loop\n");
     return 1;
+  }
+  if (!parallel_identical) {
+    std::printf("  FAIL: parallel engine diverged from the serial engine\n");
+    return 1;
+  }
+  const double par_floor = flags.get_double("require-parallel-speedup", 0.0);
+  if (par_floor > 0.0 && !flags.has("smoke")) {
+    if (threads <= 1) {
+      std::printf("  FAIL: --require-parallel-speedup needs --threads > 1\n");
+      return 1;
+    }
+    if (parallel_speedup < par_floor) {
+      std::printf("  FAIL: parallel speedup %.2fx below the %.2fx floor\n",
+                  parallel_speedup, par_floor);
+      return 1;
+    }
   }
   if (dvfs_saving <= 0.0) {
     std::printf("  FAIL: DVFS reclaimed nothing on top of consolidation\n");

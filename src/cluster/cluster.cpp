@@ -16,6 +16,11 @@ Cluster::Cluster(ClusterConfig config)
     throw std::invalid_argument("Cluster: host memory must be positive");
   engine_ = std::make_unique<MigrationEngine>(cfg_.migration, events_);
 
+  const std::size_t executors = cfg_.execution.threads == 0
+                                    ? common::ThreadPool::hardware_threads()
+                                    : cfg_.execution.threads;
+  if (executors > 1) pool_ = std::make_unique<common::ThreadPool>(executors);
+
   hosts_.reserve(cfg_.host_count);
   agents_.reserve(cfg_.host_count);
   for (std::size_t h = 0; h < cfg_.host_count; ++h) {
@@ -160,6 +165,20 @@ ClusterVmStats Cluster::vm_stats(GlobalVmId vm) const {
   return stats;
 }
 
+void Cluster::advance_hosts(common::SimTime target) {
+  if (!pool_) {  // serial driver
+    for (auto& host : hosts_) host->run_until(target);
+    return;
+  }
+  // Pooled driver: each index touches exactly one host and hosts share no
+  // mutable state between cluster events (the hv::Host contract), so the
+  // fork-join computes precisely what the serial loop does — in whatever
+  // thread interleaving — and the barrier restores the synchronized-fleet
+  // picture before any cluster event can look.
+  pool_->parallel_for(hosts_.size(),
+                      [&](std::size_t h) { hosts_[h]->run_until(target); });
+}
+
 void Cluster::run_until(common::SimTime until) {
   if (!started_) {
     install_periodic_tasks();
@@ -169,10 +188,13 @@ void Cluster::run_until(common::SimTime until) {
     // Advance every host to the next instant the cluster itself acts, then
     // act. Hosts reach `target` first (firing their own internal events up
     // to and including it), so a cluster event always observes — and
-    // mutates — a fleet synchronized to its own timestamp.
+    // mutates — a fleet synchronized to its own timestamp. Cluster events
+    // themselves always run serially on this thread, in the queue's
+    // deterministic (time, insertion-sequence) order, whatever
+    // ExecutionPolicy says.
     const common::SimTime target = std::min(until, events_.next_event_time(until));
     if (target > now_) {
-      for (auto& host : hosts_) host->run_until(target);
+      advance_hosts(target);
       now_ = target;
     }
     events_.run_until(now_);

@@ -18,6 +18,18 @@
 // run is byte-identical with the fast path on and off (the cluster fuzz
 // test pins this for ~100 random scenarios).
 //
+// Because hosts share no mutable state within a segment (the contract
+// hv::Host documents and enforces), the "advance every host" half of the
+// loop is embarrassingly parallel: ExecutionPolicy::threads > 1 steps the
+// hosts on a fixed-size common::ThreadPool, barriers, and then fires the
+// cluster events serially on the coordinating thread in the queue's
+// (time, insertion-sequence) order — the same order the serial driver
+// uses. Each host's computation is a pure function of its own state and
+// the segment bound, so every observable (traces, migration records, SLA
+// counters, energy totals) is byte-identical to the serial engine at any
+// thread count; tests/cluster/cluster_parallel_test.cpp sweeps
+// threads ∈ {1, 2, 4, hardware} over the fuzz scenarios to pin this.
+//
 // Topology: every cluster VM owns a slot on *every* host (slot index
 // kFirstGuestSlot + id; slot 0 is the host's hypervisor agent). Exactly one
 // slot holds the guest's workload at any time — the rest park an IdleGuest
@@ -31,6 +43,7 @@
 
 #include "cluster/hypervisor_agent.hpp"
 #include "cluster/migration.hpp"
+#include "common/thread_pool.hpp"
 #include "common/units.hpp"
 #include "hypervisor/host.hpp"
 #include "metrics/cluster_energy_meter.hpp"
@@ -55,10 +68,21 @@ struct ClusterVmConfig {
   double dirty_mb_per_s = 50.0;
 };
 
+/// How the "advance every host to the next cluster event" half of the run
+/// loop executes. Purely a wall-clock knob: the parallel driver is
+/// byte-identical to the serial one (see the file header).
+struct ExecutionPolicy {
+  /// Total executor threads stepping host segments: 1 = the serial driver
+  /// (no pool, no worker threads); 0 = one executor per hardware thread;
+  /// N > 1 = a pool of N-1 workers plus the coordinating thread.
+  std::size_t threads = 1;
+};
+
 struct ClusterConfig {
   /// Template applied to every host (quantum, ladder, power model, trace
   /// stride, event_driven_fast_path, ...).
   hv::HostConfig host;
+  ExecutionPolicy execution;
   std::size_t host_count = 2;
   /// Physical memory per host, consumed by the consolidation planner.
   double host_memory_mb = 4096.0;
@@ -151,14 +175,23 @@ class Cluster {
   /// window (a paused VM delivers nothing, whatever it bought).
   [[nodiscard]] const metrics::SlaChecker& sla() const { return sla_; }
 
+  /// Executors actually stepping host segments (1 = serial driver).
+  [[nodiscard]] std::size_t execution_threads() const {
+    return pool_ ? pool_->thread_count() : 1;
+  }
+
  private:
   void install_periodic_tasks();
+  /// Advances every host to `target` — the serial loop or the pooled
+  /// fork-join, per ExecutionPolicy. Both leave identical host states.
+  void advance_hosts(common::SimTime target);
   void sample_sla(common::SimTime now);
   void on_migration_done(const MigrationRecord& record);
 
   ClusterConfig cfg_;
   std::vector<std::unique_ptr<hv::Host>> hosts_;
   std::vector<HypervisorAgent*> agents_;  // slot 0 of each host, owned there
+  std::unique_ptr<common::ThreadPool> pool_;  // null for the serial driver
 
   std::vector<ClusterVmConfig> vm_cfgs_;
   std::vector<HostId> home_;

@@ -15,6 +15,15 @@
 // and it grows with the memory-per-VM footprint, which is the paper's
 // point. The conclusion's "main perspective" (coordinating VM scheduling,
 // frequency scaling and memory management) starts here.
+//
+// A placement can FAIL to hold every VM (the fleet is too small for the
+// purchased credits or memory), and that failure is an explicit, typed
+// outcome — never silently-free capacity: place_ffd marks such VMs
+// kUnplaced, and evaluate() refuses the placement (throws) unless the
+// caller opts into degraded operation with allow_unplaced and consumes
+// ClusterOutcome::unplaced_vms + the unplaced_* aggregates. The online
+// ClusterManager does exactly that: it leaves unplaced VMs resident where
+// they are and reports them via last_plan_unplaced().
 #pragma once
 
 #include <cstddef>
@@ -102,7 +111,24 @@ struct ClusterOutcome {
 /// default a placement with unplaced VMs throws std::invalid_argument.
 /// Callers that can genuinely degrade (report the shortfall, run partial)
 /// pass `allow_unplaced = true` and must consume `ClusterOutcome::
-/// unplaced_vms` / the unplaced_* aggregates.
+/// unplaced_vms` / the unplaced_* aggregates — those VMs' demand is NOT in
+/// the outcome's power or load figures.
+///
+/// Example — a fleet too small for the tenant book:
+///
+///     auto placement = place_ffd(vms, hosts);
+///     if (placement.unplaced > 0) {
+///       // evaluate(placement, vms, hosts) would throw here.
+///       auto out = evaluate(placement, vms, hosts, /*allow_unplaced=*/true);
+///       for (std::size_t vi : out.unplaced_vms)
+///         alert_capacity_shortfall(vms[vi].name);
+///       // out.unplaced_credit_pct / unplaced_memory_mb quantify what the
+///       // cluster is not providing; out.total_power_watts covers only
+///       // the placed VMs.
+///     } else {
+///       auto out = evaluate(placement, vms, hosts);  // all placed: strict
+///       report(out.total_power_watts, out.dvfs_saving_watts());
+///     }
 [[nodiscard]] ClusterOutcome evaluate(const Placement& placement,
                                       const std::vector<VmSpec>& vms,
                                       const std::vector<HostSpec>& hosts,

@@ -40,6 +40,9 @@ common::VmId Host::add_vm(VmConfig config, std::unique_ptr<wl::Workload> workloa
 
 std::unique_ptr<wl::Workload> Host::swap_workload(common::VmId id,
                                                   std::unique_ptr<wl::Workload> replacement) {
+  if (advancing_.load(std::memory_order_relaxed))
+    throw std::logic_error("Host: swap_workload while the host is advancing "
+                           "(cross-host mutation must wait for the segment boundary)");
   if (replacement == nullptr) throw std::invalid_argument("Host: replacement workload required");
   Vm& vm = vms_.at(id);
   std::unique_ptr<wl::Workload> old = std::move(vm.workload);
@@ -50,6 +53,9 @@ std::unique_ptr<wl::Workload> Host::swap_workload(common::VmId id,
 }
 
 void Host::notify_workload_changed(common::VmId id) {
+  if (advancing_.load(std::memory_order_relaxed))
+    throw std::logic_error("Host: notify_workload_changed while the host is advancing "
+                           "(cross-host mutation must wait for the segment boundary)");
   if (id >= vms_.size()) throw std::out_of_range("Host: bad VM id");
   if (!tasks_installed_) return;  // the first quantum polls everything anyway
   // Treat the slot exactly like one that just ran: the cached runnable flag
@@ -385,6 +391,18 @@ void Host::skip_idle_time(common::SimTime until) {
 }
 
 void Host::run_until(common::SimTime until) {
+  // No-shared-state contract (see the header): while this host advances —
+  // possibly on a worker thread of the cluster's parallel driver — nothing
+  // may mutate it from outside. The guard turns a violation (a migration
+  // attach or agent injection racing a running segment) into a hard error
+  // instead of a silent nondeterminism.
+  if (advancing_.load(std::memory_order_relaxed))
+    throw std::logic_error("Host: reentrant run_until");
+  struct AdvanceGuard {
+    std::atomic<bool>& flag;
+    ~AdvanceGuard() { flag.store(false, std::memory_order_relaxed); }
+  } guard{advancing_};
+  advancing_.store(true, std::memory_order_relaxed);
   if (!tasks_installed_) {
     install_periodic_tasks();
     tasks_installed_ = true;

@@ -21,8 +21,20 @@
 //
 // Determinism: given the same configuration and workload seeds, a run is
 // bit-for-bit reproducible.
+//
+// No-shared-state contract (what lets the cluster's parallel driver step
+// hosts on worker threads): a Host owns every piece of state it touches
+// while advancing — scheduler, CPU/power models, workloads, event queue,
+// meters — and run_until reads and writes nothing outside the object.
+// Conversely, NOTHING outside may mutate the host between the entry and
+// exit of run_until: swap_workload, notify_workload_changed and agent
+// work injection are segment-boundary operations, legal only while no
+// run_until is in flight. The contract is enforced, not just documented —
+// those mutators throw std::logic_error when called mid-advance (see
+// docs/ARCHITECTURE.md, "parallel ≡ serial").
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -92,7 +104,8 @@ class Host {
   /// from its source slot (parking an idle placeholder there) and attaches
   /// it into a slot on the destination host. Callable between run_until
   /// calls only (hosts in a cluster are always synchronized to a common
-  /// instant at that point). The fast path's cached runnable state for the
+  /// instant at that point); calling it mid-advance throws std::logic_error
+  /// — the no-shared-state contract. The fast path's cached runnable state for the
   /// slot is invalidated, so the next quantum re-polls the new workload
   /// exactly as the slow-stepped loop would.
   std::unique_ptr<wl::Workload> swap_workload(common::VmId id,
@@ -179,6 +192,14 @@ class Host {
   sim::EventQueue events_;
   std::vector<std::unique_ptr<sim::PeriodicTask>> tasks_;
   bool tasks_installed_ = false;
+  // True while run_until is in flight; guards the no-shared-state contract
+  // (external mutators throw instead of racing a possibly-parallel segment).
+  // Atomic because the violation it exists to catch IS a cross-thread race —
+  // a plain bool would make the detection itself undefined. Relaxed order
+  // suffices: correct runs only touch it from one thread at a time (the
+  // pool barrier sequences segments), and for a violating run any
+  // detection is best-effort by nature.
+  std::atomic<bool> advancing_{false};
   common::SimTime now_{};
   common::SimTime idle_total_{};
 

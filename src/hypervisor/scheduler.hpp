@@ -11,6 +11,33 @@
 // cap), sched::SedfScheduler (variable credit, Xen SEDF). The PAS
 // contribution is NOT a separate scheduler class: per the paper it is the
 // credit scheduler plus a credit/DVFS controller (core::PasController).
+//
+// ── Extension contract ──────────────────────────────────────────────────
+// A new scheduler is correct when it upholds four promises; every one is
+// load-bearing for an optimization or a cluster feature, so the
+// differential suites (host fast-path tests, cluster fuzz + parallel
+// sweeps) will catch a violation as a byte-level divergence:
+//
+//  1. pick() is time-idempotent (doc on pick below). License for the
+//     host's fast path to re-ask "still nothing to run?" without
+//     perturbing you.
+//  2. rejection_is_stable() tells the truth (doc below). `true` lets the
+//     host collapse a whole over-cap idle span into one skip; claiming it
+//     falsely makes the fast path skip over the instant your scheduler
+//     would have revived a VM — a silent divergence. When unsure, return
+//     false: it costs wall-clock, never correctness.
+//  3. export_credit()/import_credit() conserve (doc below). The cluster's
+//     migration engine moves the returned balance verbatim from source to
+//     destination; tests/cluster/migration_conservation_test.cpp asserts
+//     the fleet-wide sum is unchanged across every hand-off.
+//  4. No hidden clocks, no shared state. All state lives in the instance
+//     (one per host — the cluster's parallel driver steps hosts on worker
+//     threads), and all time arrives through the `now` parameters. A
+//     static counter or wall-clock read breaks run-to-run determinism.
+//
+// Registration: add the class to sched/scheduler_factory.{hpp,cpp} and to
+// the cluster fuzz generator's scheduler switch so the differential tests
+// cover it. See docs/ARCHITECTURE.md ("A new scheduler").
 #pragma once
 
 #include <span>
@@ -69,9 +96,22 @@ class Scheduler {
   /// True if a runnable set this scheduler just rejected (pick returned
   /// kInvalidVm) stays rejected until the next charge()/account()/
   /// set_cap() call — i.e. eligibility never revives with bare time. Lets
-  /// the host skip the whole idle span in one step. Schedulers with lazily
-  /// time-refreshed eligibility (SEDF's per-VM period refill) must return
-  /// false; the host then idles such spans quantum by quantum.
+  /// the host skip the whole idle span in one step: on a `true` answer an
+  /// over-cap tail fast-forwards to the next queue event (the earliest
+  /// call that could change eligibility) with the rejected set revalidated
+  /// at the boundary.
+  ///
+  /// What SEDF opts out of, and why: SEDF refills each VM's slice lazily,
+  /// as a pure function of `now` (the period rollover happens inside
+  /// pick()), so a VM the scheduler rejected at time t can become eligible
+  /// at t + δ with no charge/account/set_cap in between — bare time IS a
+  /// reviving input. SedfScheduler therefore returns false and the host
+  /// idles its over-cap spans quantum by quantum, exactly like the
+  /// reference loop. Fixed-credit schedulers (Credit, Credit2) refill only
+  /// inside account(), so their rejections are stable and they keep the
+  /// default. Defaulting a new scheduler to `false` is always safe;
+  /// claiming `true` wrongly makes the fast path diverge from the
+  /// reference loop (the fuzz suites catch this as a byte-level diff).
   [[nodiscard]] virtual bool rejection_is_stable() const { return true; }
 
   /// Fraction of the *upcoming* run (for the VM just returned by pick())
@@ -84,13 +124,30 @@ class Scheduler {
     return 1.0;
   }
 
-  /// Live-migration support: the VM's scheduling state that must travel with
-  /// it (today: the credit balance, a *time* share). export_credit reads it
-  /// on the source host; import_credit installs it on the destination — the
-  /// conservation contract is export on A == import on B, so credit is
-  /// neither minted nor burned in flight. Schedulers without a transferable
-  /// balance (SEDF's deadlines are host-local) keep the defaults: export
-  /// zero, ignore imports.
+  /// Live-migration support: the VM's scheduling state that must travel
+  /// with it (today: the credit balance, a *time* share — see
+  /// common/units.hpp).
+  ///
+  /// Call sequence during a migration (cluster::MigrationEngine): at the
+  /// stop-and-copy pause the engine reads export_credit(vm) on the SOURCE
+  /// host's scheduler (a pure read — it must not mutate), records it in
+  /// the MigrationRecord (credit_exported), then drains the source slot
+  /// itself via import_credit(vm, 0) + set_cap(vm, 0) so credit exists in
+  /// exactly one place and refills stop minting into the empty slot. At
+  /// attach time it calls import_credit(vm, exported) on the DESTINATION
+  /// host's scheduler (credit_imported). The conservation contract: export
+  /// on A == import on B, credit neither minted nor burned in flight.
+  /// import_credit therefore REPLACES the slot's balance (no merge, no
+  /// clamp to burst limits — a migrating VM must not lose credit in
+  /// flight); the engine relies on "import zero == drain".
+  ///
+  /// Schedulers without a transferable balance keep the defaults: export
+  /// zero, ignore imports. SEDF is the in-tree example — its scheduling
+  /// state is (deadline, remaining slice) against the HOST-LOCAL period
+  /// grid; a deadline from host A is meaningless on host B's clock, and
+  /// slices refill within one period anyway, so the honest hand-off is
+  /// "carry nothing". The conservation test treats a default-returning
+  /// scheduler as conserving trivially.
   [[nodiscard]] virtual common::SimTime export_credit(common::VmId vm) const {
     (void)vm;
     return common::SimTime{};

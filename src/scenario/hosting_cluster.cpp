@@ -13,6 +13,7 @@ std::unique_ptr<cluster::Cluster> build_hosting_cluster(const HostingClusterConf
   cluster::ClusterConfig cc;
   cc.host.trace_stride = config.trace_stride;
   cc.host.event_driven_fast_path = config.fast_path;
+  cc.execution.threads = config.threads;
   cc.host_count = config.hosts;
   cc.host_memory_mb = config.host_memory_mb;
   auto cluster = std::make_unique<cluster::Cluster>(std::move(cc));

@@ -28,6 +28,10 @@ struct HostingClusterConfig {
   common::SimTime horizon = common::seconds(4000);
   std::uint64_t seed = 17;
   bool fast_path = true;
+  /// Executor threads for host segments (cluster::ExecutionPolicy): 1 =
+  /// serial driver, 0 = hardware concurrency. Wall-clock only — results
+  /// are byte-identical at any value.
+  std::size_t threads = 1;
   common::SimTime trace_stride = common::seconds(10);
   double host_memory_mb = 8192.0;
   /// Manager configuration; install_manager=false gives the static spread

@@ -13,6 +13,15 @@
 // next_event_time() is exact (cancelled events never linger). Slots are
 // recycled through a free list; EventIds carry a per-slot generation so a
 // stale id can never cancel the slot's next tenant.
+//
+// Threading model: an EventQueue is single-threaded by design and stays
+// that way under the cluster's parallel engine. Each hv::Host owns a
+// private queue touched only while that host advances (possibly on a
+// worker thread, but by exactly one thread at a time — the host's
+// no-shared-state contract), and the cluster's coordinating queue is
+// touched only by the coordinating thread between segment barriers. No
+// locks needed, and the (time, seq) dispatch order is what makes cluster-
+// event replay deterministic at any thread count (docs/ARCHITECTURE.md).
 #pragma once
 
 #include <cstdint>

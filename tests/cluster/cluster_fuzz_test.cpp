@@ -9,257 +9,22 @@
 // cover random VM counts and workload mixes, random migration cadences
 // (manager-driven and scripted), off-grid monitor/trace/manager periods,
 // and all three schedulers.
+//
+// The scenario generator and comparison live in cluster_fuzz_common.hpp,
+// shared with cluster_parallel_test.cpp (parallel ≡ serial over the same
+// seeds).
 #include <gtest/gtest.h>
 
-#include <memory>
-#include <string>
-#include <vector>
-
-#include "cluster/cluster.hpp"
-#include "cluster/cluster_manager.hpp"
-#include "common/random.hpp"
-#include "sched/credit2_scheduler.hpp"
-#include "sched/credit_scheduler.hpp"
-#include "sched/sedf_scheduler.hpp"
-#include "workload/load_profile.hpp"
-#include "workload/pi_app.hpp"
-#include "workload/synthetic.hpp"
-#include "workload/web_app.hpp"
+#include "cluster_fuzz_common.hpp"
 
 namespace pas::cluster {
 namespace {
 
-using common::msec;
-using common::seconds;
-using common::SimTime;
-
-enum class WlKind { kWeb, kHog, kBatch, kIdle, kBusy };
-
-struct VmSpecF {
-  WlKind kind = WlKind::kIdle;
-  double credit = 5.0;
-  double memory_mb = 256.0;
-  double dirty_mb_per_s = 30.0;
-  HostId home = 0;
-  // web
-  std::uint64_t seed = 1;
-  double rate = 1.0;
-  bool poisson = true;
-  // pulse (web/hog)
-  SimTime from{}, until{};
-  // batch
-  common::Work pi_work{};
-  SimTime pi_start{};
-};
-
-struct ScriptedMove {
-  SimTime at{};
-  GlobalVmId vm = 0;
-  HostId to = 0;
-};
-
-struct ScenarioSpec {
-  std::size_t hosts = 2;
-  int sched = 0;  // 0 credit, 1 credit2, 2 sedf
-  SimTime horizon{};
-  SimTime trace_stride{};
-  SimTime monitor_window{};
-  std::vector<VmSpecF> vms;
-  bool use_manager = false;
-  ClusterManagerConfig mgr;
-  std::vector<ScriptedMove> script;
-};
-
-ScenarioSpec draw_scenario(std::uint64_t seed) {
-  common::Rng rng{seed};
-  ScenarioSpec s;
-  s.hosts = 2 + rng.next_below(3);                      // 2..4
-  s.sched = static_cast<int>(rng.next_below(3));
-  const std::int64_t horizon_s = 120 + static_cast<std::int64_t>(rng.next_below(120));
-  s.horizon = seconds(horizon_s);
-  s.trace_stride = std::vector<SimTime>{seconds(1), msec(1500), seconds(5)}[rng.next_below(3)];
-  s.monitor_window = std::vector<SimTime>{seconds(1), msec(730), msec(500)}[rng.next_below(3)];
-
-  const std::size_t vm_count = 3 + rng.next_below(8);   // 3..10
-  for (std::size_t i = 0; i < vm_count; ++i) {
-    VmSpecF v;
-    v.kind = static_cast<WlKind>(rng.next_below(5));
-    v.credit = 2.0 + 3.0 * static_cast<double>(rng.next_below(10));  // 2..29
-    v.memory_mb = 128.0 * static_cast<double>(1 + rng.next_below(8));
-    v.dirty_mb_per_s = 10.0 + 20.0 * static_cast<double>(rng.next_below(10));
-    v.home = static_cast<HostId>(rng.next_below(s.hosts));
-    v.seed = seed * 131 + i;
-    v.poisson = rng.chance(0.5);
-    const auto from_s = static_cast<std::int64_t>(rng.next_below(horizon_s / 2));
-    const auto len_s = 10 + static_cast<std::int64_t>(rng.next_below(horizon_s / 2));
-    v.from = seconds(from_s);
-    v.until = seconds(from_s + len_s);
-    v.rate = wl::WebApp::rate_for_demand(std::min(v.credit, 15.0),
-                                         common::mf_usec(10'000)) *
-             rng.uniform(0.5, 1.5);
-    v.pi_work = common::mf_seconds(rng.uniform(0.5, 4.0));
-    v.pi_start = seconds(static_cast<std::int64_t>(rng.next_below(horizon_s / 2)));
-    s.vms.push_back(v);
-  }
-
-  s.use_manager = rng.chance(0.7);
-  if (s.use_manager) {
-    s.mgr.period = std::vector<SimTime>{seconds(10), msec(7300), seconds(25)}[rng.next_below(3)];
-    s.mgr.max_migrations_per_tick = 1 + rng.next_below(4);
-    s.mgr.dvfs = rng.chance(0.7) ? ClusterManagerConfig::Dvfs::kPas
-                                 : ClusterManagerConfig::Dvfs::kPinnedMax;
-    s.mgr.vovo = rng.chance(0.8);
-  }
-  // Scripted migrations on top (or instead) of the manager's: random VMs
-  // to random hosts at random instants.
-  const std::size_t moves = rng.next_below(4) + (s.use_manager ? 0 : 1);
-  for (std::size_t m = 0; m < moves; ++m) {
-    ScriptedMove mv;
-    mv.at = seconds(5 + static_cast<std::int64_t>(rng.next_below(horizon_s - 10)));
-    mv.vm = static_cast<GlobalVmId>(rng.next_below(vm_count));
-    mv.to = static_cast<HostId>(rng.next_below(s.hosts));
-    s.script.push_back(mv);
-  }
-  std::sort(s.script.begin(), s.script.end(),
-            [](const ScriptedMove& a, const ScriptedMove& b) { return a.at < b.at; });
-  return s;
-}
-
-std::unique_ptr<Cluster> build_cluster(const ScenarioSpec& s, bool fast_path) {
-  ClusterConfig cc;
-  cc.host_count = s.hosts;
-  cc.host.trace_stride = s.trace_stride;
-  cc.host.monitor_window = s.monitor_window;
-  cc.host.event_driven_fast_path = fast_path;
-  cc.make_scheduler = [kind = s.sched]() -> std::unique_ptr<hv::Scheduler> {
-    switch (kind) {
-      case 1: return std::make_unique<sched::Credit2Scheduler>();
-      case 2: return std::make_unique<sched::SedfScheduler>();
-      default: return std::make_unique<sched::CreditScheduler>();
-    }
-  };
-  auto cluster = std::make_unique<Cluster>(std::move(cc));
-
-  for (std::size_t i = 0; i < s.vms.size(); ++i) {
-    const VmSpecF& v = s.vms[i];
-    ClusterVmConfig vc;
-    vc.vm.name = "vm" + std::to_string(i);
-    vc.vm.credit = v.credit;
-    vc.memory_mb = v.memory_mb;
-    vc.dirty_mb_per_s = v.dirty_mb_per_s;
-    std::unique_ptr<wl::Workload> workload;
-    switch (v.kind) {
-      case WlKind::kWeb: {
-        wl::WebAppConfig wc;
-        wc.seed = v.seed;
-        wc.poisson = v.poisson;
-        wc.queue_capacity = 300;
-        workload = std::make_unique<wl::WebApp>(
-            wl::LoadProfile::pulse(v.from, v.until, v.rate), wc);
-        break;
-      }
-      case WlKind::kHog:
-        workload = std::make_unique<wl::GatedBusyLoop>(
-            wl::LoadProfile::pulse(v.from, v.until, 1.0));
-        break;
-      case WlKind::kBatch:
-        workload = std::make_unique<wl::PiApp>(v.pi_work, v.pi_start);
-        break;
-      case WlKind::kBusy:
-        workload = std::make_unique<wl::BusyLoop>();
-        break;
-      case WlKind::kIdle:
-        workload = std::make_unique<wl::IdleGuest>();
-        break;
-    }
-    cluster->add_vm(std::move(vc), std::move(workload), v.home);
-  }
-  if (s.use_manager)
-    cluster->install_manager(std::make_unique<ClusterManager>(s.mgr));
-  return cluster;
-}
-
-void run_spec(Cluster& cluster, const ScenarioSpec& s) {
-  for (const ScriptedMove& mv : s.script) {
-    cluster.run_until(mv.at);
-    (void)cluster.migrate(mv.vm, mv.to);  // may be refused; identically so
-  }
-  cluster.run_until(s.horizon);
-}
-
-void expect_identical(Cluster& slow, Cluster& fast, std::uint64_t seed) {
-  const std::string ctx = "seed " + std::to_string(seed);
-  for (HostId h = 0; h < slow.host_count(); ++h) {
-    hv::Host& a = slow.host(h);
-    hv::Host& b = fast.host(h);
-    const auto sa = a.trace().samples();
-    const auto sb = b.trace().samples();
-    ASSERT_EQ(sa.size(), sb.size()) << ctx << " host " << h;
-    for (std::size_t i = 0; i < sa.size(); ++i) {
-      const auto ra = sa[i];
-      const auto rb = sb[i];
-      ASSERT_EQ(ra.t, rb.t) << ctx << " host " << h << " row " << i;
-      ASSERT_EQ(ra.freq_mhz, rb.freq_mhz) << ctx << " host " << h << " row " << i;
-      ASSERT_EQ(ra.global_load_pct, rb.global_load_pct)
-          << ctx << " host " << h << " row " << i;
-      ASSERT_EQ(ra.absolute_load_pct, rb.absolute_load_pct)
-          << ctx << " host " << h << " row " << i;
-      for (std::size_t v = 0; v < a.vm_count(); ++v) {
-        ASSERT_EQ(ra.vm_global_pct[v], rb.vm_global_pct[v])
-            << ctx << " host " << h << " row " << i << " vm " << v;
-        ASSERT_EQ(ra.vm_absolute_pct[v], rb.vm_absolute_pct[v])
-            << ctx << " host " << h << " row " << i << " vm " << v;
-        ASSERT_EQ(ra.vm_credit_pct[v], rb.vm_credit_pct[v])
-            << ctx << " host " << h << " row " << i << " vm " << v;
-        ASSERT_EQ(ra.vm_saturated[v], rb.vm_saturated[v])
-            << ctx << " host " << h << " row " << i << " vm " << v;
-      }
-    }
-    ASSERT_EQ(a.idle_time(), b.idle_time()) << ctx << " host " << h;
-    ASSERT_EQ(a.cpufreq().transition_count(), b.cpufreq().transition_count())
-        << ctx << " host " << h;
-    for (common::VmId v = 0; v < a.vm_count(); ++v) {
-      ASSERT_EQ(a.vm(v).total_busy, b.vm(v).total_busy) << ctx << " host " << h << " vm " << v;
-      ASSERT_EQ(a.vm(v).total_work, b.vm(v).total_work) << ctx << " host " << h << " vm " << v;
-      ASSERT_EQ(a.vm(v).window_wanting, b.vm(v).window_wanting)
-          << ctx << " host " << h << " vm " << v;
-    }
-    ASSERT_NEAR(a.energy().joules(), b.energy().joules(), 1e-9 * (a.energy().joules() + 1.0))
-        << ctx << " host " << h;
-  }
-
-  // Cluster-level observables: migrations happened at the same instants
-  // with the same cost structure, residencies and SLA counters agree.
-  const auto& ma = slow.migrations();
-  const auto& mb = fast.migrations();
-  ASSERT_EQ(ma.size(), mb.size()) << ctx;
-  for (std::size_t i = 0; i < ma.size(); ++i) {
-    ASSERT_EQ(ma[i].vm, mb[i].vm) << ctx << " migration " << i;
-    ASSERT_EQ(ma[i].from, mb[i].from) << ctx << " migration " << i;
-    ASSERT_EQ(ma[i].to, mb[i].to) << ctx << " migration " << i;
-    ASSERT_EQ(ma[i].start, mb[i].start) << ctx << " migration " << i;
-    ASSERT_EQ(ma[i].stop, mb[i].stop) << ctx << " migration " << i;
-    ASSERT_EQ(ma[i].end, mb[i].end) << ctx << " migration " << i;
-    ASSERT_EQ(ma[i].rounds, mb[i].rounds) << ctx << " migration " << i;
-    ASSERT_EQ(ma[i].transferred_mb, mb[i].transferred_mb) << ctx << " migration " << i;
-    ASSERT_EQ(ma[i].credit_exported, mb[i].credit_exported) << ctx << " migration " << i;
-    ASSERT_EQ(ma[i].credit_imported, mb[i].credit_imported) << ctx << " migration " << i;
-  }
-  for (GlobalVmId gid = 0; gid < slow.vm_count(); ++gid) {
-    ASSERT_EQ(slow.residence(gid), fast.residence(gid)) << ctx << " vm " << gid;
-    ASSERT_EQ(slow.sla().violation_time(gid), fast.sla().violation_time(gid))
-        << ctx << " vm " << gid;
-    ASSERT_EQ(slow.sla().observed_time(gid), fast.sla().observed_time(gid))
-        << ctx << " vm " << gid;
-    ASSERT_EQ(slow.vm_stats(gid).downtime, fast.vm_stats(gid).downtime)
-        << ctx << " vm " << gid;
-  }
-  for (HostId h = 0; h < slow.host_count(); ++h)
-    ASSERT_EQ(slow.powered_on(h), fast.powered_on(h)) << ctx << " host " << h;
-  ASSERT_NEAR(slow.energy_joules(), fast.energy_joules(),
-              1e-9 * (slow.energy_joules() + 1.0))
-      << ctx;
-}
+using fuzz::build_cluster;
+using fuzz::draw_scenario;
+using fuzz::expect_identical;
+using fuzz::run_spec;
+using fuzz::ScenarioSpec;
 
 void run_seed_range(std::uint64_t first, std::uint64_t count) {
   std::size_t total_migrations = 0;
@@ -269,7 +34,7 @@ void run_seed_range(std::uint64_t first, std::uint64_t count) {
     auto fast = build_cluster(spec, /*fast_path=*/true);
     run_spec(*slow, spec);
     run_spec(*fast, spec);
-    expect_identical(*slow, *fast, seed);
+    expect_identical(*slow, *fast, seed, "slow vs fast");
     if (::testing::Test::HasFatalFailure()) return;
     total_migrations += slow->migrations().size();
   }
