@@ -9,16 +9,15 @@
 
 #include "common/flags.hpp"
 #include "consolidation/consolidation.hpp"
+#include "platform/host_class.hpp"
 
 int main(int argc, char** argv) {
   using namespace pas;
   const common::Flags flags{argc, argv};
   const int vm_count = static_cast<int>(flags.get_int("vms", 24));
 
-  consolidation::HostSpec spec;
-  spec.name = "host";
-  spec.memory_mb = 4096;
-  const auto fleet = consolidation::uniform_fleet(static_cast<std::size_t>(vm_count), spec);
+  const auto fleet =
+      platform::planner_fleet(static_cast<std::size_t>(vm_count), platform::optiplex_755());
 
   std::printf("=== Ablation D: consolidation is memory-bound; DVFS is complementary ===\n");
   std::printf("%d VMs, 12 %% CPU demand each, 4 GB hosts; sweeping memory per VM.\n\n",

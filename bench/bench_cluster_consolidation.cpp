@@ -27,13 +27,26 @@
 // (full runs only; --smoke keeps the exactness check but is exempt from
 // the speedup gate, which needs real cores and a real horizon).
 //
+// --fleet=mixed swaps the uniform 8-GB fleet for the heterogeneous
+// platform catalog (scenario::FleetPreset::kMixed: xeon / optiplex / elite
+// round-robin, hungriest class first). The same three policies run on the
+// mixed fleet, plus a fourth — the manager with efficient-first packing
+// turned OFF (naive index-order FFD) — and the gap between naive and
+// efficient-first is the energy the heterogeneity-aware cost term is
+// worth. Per-class host counts and the per-class energy split land in the
+// `hetero{...}` JSON block; --require-hetero-saving turns the gap into a
+// CI floor (full runs only; --smoke is exempt like the speedup gate — a
+// short horizon barely starts packing).
+//
 // Usage: bench_cluster_consolidation [--smoke] [--horizon=SECONDS]
 //          [--hosts=8] [--vms=64] [--out=BENCH_cluster.json]
 //          [--require-rate=RATE] [--threads=N]
 //          [--require-parallel-speedup=X]
+//          [--fleet=uniform|mixed] [--fleet-seed=N] [--require-hetero-saving]
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <string>
 
@@ -41,6 +54,7 @@
 #include "cluster/cluster_manager.hpp"
 #include "common/flags.hpp"
 #include "common/thread_pool.hpp"
+#include "platform/host_class.hpp"
 #include "scenario/hosting_cluster.hpp"
 
 namespace {
@@ -102,15 +116,25 @@ int main(int argc, char** argv) {
   const auto hosts = static_cast<std::size_t>(flags.get_int("hosts", 8));
   const auto vms = static_cast<std::size_t>(flags.get_int("vms", 64));
   const std::string out = flags.get_or("out", "BENCH_cluster.json");
+  const std::string fleet = flags.get_or("fleet", "uniform");
+  if (fleet != "uniform" && fleet != "mixed") {
+    std::fprintf(stderr, "bench_cluster_consolidation: --fleet must be uniform or mixed\n");
+    return 2;
+  }
+  const bool mixed = fleet == "mixed";
   const SimTime horizon = seconds(horizon_s);
 
   HostingClusterConfig base;
   base.hosts = hosts;
   base.vms = vms;
   base.horizon = horizon;
+  if (mixed) {
+    base.fleet = pas::scenario::FleetPreset::kMixed;
+    base.fleet_seed = static_cast<std::uint64_t>(flags.get_int("fleet-seed", 0));
+  }
 
-  std::printf("=== cluster consolidation: %zu hosts x %zu VMs, %ld simulated s ===\n",
-              hosts, vms, horizon_s);
+  std::printf("=== cluster consolidation: %zu hosts x %zu VMs, %ld simulated s, %s fleet ===\n",
+              hosts, vms, horizon_s, fleet.c_str());
 
   // --- throughput + exactness: fast path vs reference loop, manager on ---
   auto cfg_slow = base;
@@ -187,17 +211,65 @@ int main(int argc, char** argv) {
   std::printf("  consolidation saves %.1f W; DVFS reclaims another %.1f W on top (§2.3)\n",
               consolidation_saving, dvfs_saving);
 
+  // --- heterogeneity: per-class split + the efficient-first A/B ---
+  // The naive baseline reruns the PAS policy with the planner's
+  // heterogeneity-aware host ordering disabled (index-order FFD): the watt
+  // gap prices the cost term on the mixed fleet.
+  double watts_naive_order = 0.0;
+  double hetero_saving = 0.0;
+  std::string hetero_json;
+  if (mixed) {
+    auto cfg_naive = base;
+    cfg_naive.manager.efficient_first = false;
+    auto naive = pas::scenario::build_hosting_cluster(cfg_naive);
+    naive->run_until(horizon);
+    watts_naive_order = naive->average_watts();
+    hetero_saving = watts_naive_order - watts_pas;
+
+    struct ClassStat {
+      std::size_t hosts = 0;
+      double energy_joules = 0.0;
+    };
+    std::map<std::string, ClassStat> classes;  // ordered -> stable JSON
+    for (pas::cluster::HostId h = 0; h < fast->host_count(); ++h) {
+      ClassStat& s = classes[fast->host_class(h).name];
+      ++s.hosts;
+      s.energy_joules += fast->host_energy_joules(h);
+    }
+
+    std::printf("\n  heterogeneous fleet (efficient-first vs naive index order):\n");
+    std::printf("  naive-order manager       %8.1f W   efficient-first saves %.1f W\n",
+                watts_naive_order, hetero_saving);
+    hetero_json = "  \"hetero\": {\n    \"classes\": {";
+    bool first = true;
+    char buf[256];
+    for (const auto& [name, s] : classes) {
+      std::printf("    class %-16s %zu host(s)   %.0f J\n", name.c_str(), s.hosts,
+                  s.energy_joules);
+      std::snprintf(buf, sizeof(buf), "%s\n      \"%s\": {\"hosts\": %zu, \"energy_joules\": %.3f}",
+                    first ? "" : ",", name.c_str(), s.hosts, s.energy_joules);
+      hetero_json += buf;
+      first = false;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "\n    },\n    \"watts_naive_order\": %.3f,\n"
+                  "    \"efficient_first_saving_watts\": %.3f\n  },\n",
+                  watts_naive_order, hetero_saving);
+    hetero_json += buf;
+  }
+
   {
     std::ofstream js{out};
     if (!js) {
       std::fprintf(stderr, "bench_cluster_consolidation: cannot write %s\n", out.c_str());
       return 2;
     }
-    char buf[2048];
+    char buf[4096];
     std::snprintf(buf, sizeof(buf),
                   "{\n"
                   "  \"bench\": \"cluster_consolidation\",\n"
                   "  \"scenario\": \"hosting_cluster_%zux%zu\",\n"
+                  "  \"fleet\": \"%s\",\n"
                   "  \"hosts\": %zu,\n"
                   "  \"vms\": %zu,\n"
                   "  \"simulated_seconds\": %ld,\n"
@@ -214,15 +286,16 @@ int main(int argc, char** argv) {
                   "  \"watts_consolidation_pas\": %.3f,\n"
                   "  \"consolidation_saving_watts\": %.3f,\n"
                   "  \"dvfs_saving_watts\": %.3f,\n"
+                  "%s"
                   "  \"migrations\": %zu,\n"
                   "  \"hosts_on_final\": %zu\n"
                   "}\n",
-                  hosts, vms, hosts, vms, horizon_s, slow_wall, slow_rate, fast_wall,
-                  fast_rate, speedup, identical ? "true" : "false", threads > 1 ? threads : 0,
-                  par_wall, par_rate, parallel_speedup,
+                  hosts, vms, fleet.c_str(), hosts, vms, horizon_s, slow_wall, slow_rate,
+                  fast_wall, fast_rate, speedup, identical ? "true" : "false",
+                  threads > 1 ? threads : 0, par_wall, par_rate, parallel_speedup,
                   parallel_identical ? "true" : "false", watts_spread, watts_consol,
-                  watts_pas, consolidation_saving, dvfs_saving, fast->migrations().size(),
-                  fast->powered_on_count());
+                  watts_pas, consolidation_saving, dvfs_saving, hetero_json.c_str(),
+                  fast->migrations().size(), fast->powered_on_count());
     js << buf;
     std::printf("  written to %s\n", out.c_str());
   }
@@ -250,6 +323,17 @@ int main(int argc, char** argv) {
   if (dvfs_saving <= 0.0) {
     std::printf("  FAIL: DVFS reclaimed nothing on top of consolidation\n");
     return 1;
+  }
+  if (flags.has("require-hetero-saving") && !flags.has("smoke")) {
+    if (!mixed) {
+      std::printf("  FAIL: --require-hetero-saving needs --fleet=mixed\n");
+      return 1;
+    }
+    if (hetero_saving <= 0.0) {
+      std::printf("  FAIL: efficient-first packing saved nothing (%.2f W) vs naive order\n",
+                  hetero_saving);
+      return 1;
+    }
   }
   const double floor = flags.get_double("require-rate", 0.0);
   if (floor > 0.0 && fast_rate < floor) {

@@ -3,12 +3,15 @@
 // command-line tool.
 //
 // Run: ./examples/consolidation_planner [--vms=32] [--hosts=16] [--host-mem=4096]
+//        [--fleet=uniform|mixed]
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/flags.hpp"
 #include "common/random.hpp"
 #include "consolidation/consolidation.hpp"
+#include "platform/host_class.hpp"
 
 int main(int argc, char** argv) {
   using namespace pas;
@@ -16,10 +19,18 @@ int main(int argc, char** argv) {
   const auto vm_count = static_cast<std::size_t>(flags.get_int("vms", 32));
   const auto host_count = static_cast<std::size_t>(flags.get_int("hosts", 16));
 
-  consolidation::HostSpec spec;
-  spec.name = "host";
-  spec.memory_mb = flags.get_double("host-mem", 4096.0);
-  const auto fleet = consolidation::uniform_fleet(host_count, spec);
+  // --fleet=mixed packs against the heterogeneous platform catalog (with
+  // NUMA-aware costs); the default is the classic uniform Optiplex fleet.
+  const bool mixed = flags.get_or("fleet", "uniform") == "mixed";
+  if (mixed && flags.has("host-mem")) {
+    std::fprintf(stderr, "consolidation_planner: --host-mem only applies to the uniform "
+                         "fleet; the mixed catalog sets memory per class\n");
+    return 2;
+  }
+  platform::HostClass uniform = platform::optiplex_755();
+  uniform.memory_mb = flags.get_double("host-mem", 4096.0);
+  const auto fleet = mixed ? platform::fleet_specs(platform::mixed_fleet_classes(host_count))
+                           : platform::planner_fleet(host_count, uniform);
 
   // A plausible mixed fleet: web (small mem, modest CPU), app (mid), db
   // (big mem, hungrier CPU), drawn deterministically.
@@ -51,10 +62,9 @@ int main(int argc, char** argv) {
   const auto outcome = consolidation::evaluate(placement, vms, fleet,
                                                /*allow_unplaced=*/true);
 
-  std::printf("Consolidation plan: %zu VMs onto %zu hosts (%.0f MB each).\n\n", vm_count,
-              host_count, spec.memory_mb);
-  std::printf("  %-8s %10s %12s %12s %10s %10s\n", "host", "VMs", "mem MB", "credit %",
-              "load %", "P-state");
+  std::printf("Consolidation plan: %zu VMs onto %zu hosts.\n\n", vm_count, host_count);
+  std::printf("  %-16s %6s %10s %10s %8s %8s %8s\n", "host", "VMs", "mem MB", "credit %",
+              "load %", "spills", "P-state");
   for (std::size_t hi = 0; hi < fleet.size(); ++hi) {
     const auto& h = outcome.hosts[hi];
     if (!h.powered_on) continue;
@@ -62,8 +72,8 @@ int main(int argc, char** argv) {
     for (std::size_t vi = 0; vi < vms.size(); ++vi) {
       if (placement.assignment[vi] == hi) ++n;
     }
-    std::printf("  %-8s %10zu %12.0f %12.1f %10.1f %7.0fMHz\n", fleet[hi].name.c_str(), n,
-                h.memory_used_mb, h.credit_reserved_pct, h.cpu_load_pct,
+    std::printf("  %-16s %6zu %10.0f %10.1f %8.1f %8zu %5.0fMHz\n", fleet[hi].name.c_str(),
+                n, h.memory_used_mb, h.credit_reserved_pct, h.cpu_load_pct, h.numa_spills,
                 fleet[hi].ladder.at(h.freq_index).freq.value());
   }
 

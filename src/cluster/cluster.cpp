@@ -9,11 +9,46 @@
 
 namespace pas::cluster {
 
-Cluster::Cluster(ClusterConfig config)
-    : cfg_(std::move(config)), meter_(cfg_.host_count) {
-  if (cfg_.host_count == 0) throw std::invalid_argument("Cluster: need at least one host");
-  if (cfg_.host_memory_mb <= 0.0)
+namespace {
+
+/// One platform class per host: the configured list verbatim, or
+/// host_count clones synthesized from the template. The uniform scalars
+/// are 0-defaulted ("unset"), so a scalar that was actually set alongside
+/// a class list is detectable — and rejected — rather than silently losing
+/// to it.
+std::vector<platform::HostClass> resolve_classes(const ClusterConfig& cfg) {
+  if (!cfg.host_classes.empty()) {
+    if (cfg.host_count != 0 && cfg.host_count != cfg.host_classes.size())
+      throw std::invalid_argument("Cluster: host_count contradicts host_classes");
+    if (cfg.host_memory_mb != 0.0)
+      throw std::invalid_argument(
+          "Cluster: host_memory_mb contradicts host_classes; set memory per class");
+    for (const auto& c : cfg.host_classes) {
+      if (c.memory_mb <= 0.0)
+        throw std::invalid_argument("Cluster: class memory must be positive");
+      if (c.numa_nodes == 0)
+        throw std::invalid_argument("Cluster: class needs at least one NUMA node");
+      if (c.numa_spill_penalty < 0.0)
+        throw std::invalid_argument("Cluster: negative NUMA spill penalty");
+    }
+    return cfg.host_classes;
+  }
+  if (cfg.host_count == 0)
+    throw std::invalid_argument("Cluster: need at least one host (or host_classes)");
+  if (cfg.host_memory_mb < 0.0)
     throw std::invalid_argument("Cluster: host memory must be positive");
+  platform::HostClass c;
+  c.name = "host";
+  c.ladder = cfg.host.ladder;
+  c.power = cfg.host.power;
+  c.memory_mb = cfg.host_memory_mb == 0.0 ? 4096.0 : cfg.host_memory_mb;
+  return std::vector<platform::HostClass>(cfg.host_count, c);
+}
+
+}  // namespace
+
+Cluster::Cluster(ClusterConfig config)
+    : cfg_(std::move(config)), classes_(resolve_classes(cfg_)), meter_(classes_.size()) {
   engine_ = std::make_unique<MigrationEngine>(cfg_.migration, events_);
 
   const std::size_t executors = cfg_.execution.threads == 0
@@ -21,12 +56,17 @@ Cluster::Cluster(ClusterConfig config)
                                     : cfg_.execution.threads;
   if (executors > 1) pool_ = std::make_unique<common::ThreadPool>(executors);
 
-  hosts_.reserve(cfg_.host_count);
-  agents_.reserve(cfg_.host_count);
-  for (std::size_t h = 0; h < cfg_.host_count; ++h) {
+  hosts_.reserve(classes_.size());
+  agents_.reserve(classes_.size());
+  for (std::size_t h = 0; h < classes_.size(); ++h) {
     auto scheduler = cfg_.make_scheduler ? cfg_.make_scheduler()
                                          : std::make_unique<sched::CreditScheduler>();
-    auto host = std::make_unique<hv::Host>(cfg_.host, std::move(scheduler));
+    // Each host is built from its class: the shared template supplies the
+    // timing knobs, the class supplies the machine (ladder + power model).
+    hv::HostConfig hc = cfg_.host;
+    hc.ladder = classes_[h].ladder;
+    hc.power = classes_[h].power;
+    auto host = std::make_unique<hv::Host>(std::move(hc), std::move(scheduler));
     hv::VmConfig agent_cfg;
     agent_cfg.name = "hv-agent-" + std::to_string(h);
     agent_cfg.credit = cfg_.agent_credit;
@@ -146,6 +186,11 @@ double Cluster::energy_joules() const {
   for (std::size_t h = 0; h < hosts_.size(); ++h)
     total += meter_.host_joules(h, hosts_[h]->energy().joules());
   return total;
+}
+
+double Cluster::host_energy_joules(HostId host) const {
+  if (host >= hosts_.size()) throw std::invalid_argument("Cluster: bad host id");
+  return meter_.host_joules(host, hosts_[host]->energy().joules());
 }
 
 double Cluster::average_watts() const {

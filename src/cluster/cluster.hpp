@@ -48,6 +48,7 @@
 #include "hypervisor/host.hpp"
 #include "metrics/cluster_energy_meter.hpp"
 #include "metrics/sla_checker.hpp"
+#include "platform/host_class.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/periodic.hpp"
 
@@ -79,13 +80,24 @@ struct ExecutionPolicy {
 };
 
 struct ClusterConfig {
-  /// Template applied to every host (quantum, ladder, power model, trace
-  /// stride, event_driven_fast_path, ...).
+  /// Template applied to every host (quantum, monitor window, trace stride,
+  /// event_driven_fast_path, ...). With a uniform fleet it also supplies
+  /// the ladder and power model; with `host_classes` those come per host
+  /// from each class.
   hv::HostConfig host;
   ExecutionPolicy execution;
-  std::size_t host_count = 2;
-  /// Physical memory per host, consumed by the consolidation planner.
-  double host_memory_mb = 4096.0;
+  /// Per-host platform classes: entry h defines host h's frequency ladder,
+  /// power model, memory, planner capacity and NUMA layout. Non-empty
+  /// defines the fleet — the constructor throws if host_count (other than
+  /// host_classes.size()) or host_memory_mb is ALSO set: a lone scalar
+  /// must not silently contradict mixed classes.
+  std::vector<platform::HostClass> host_classes;
+  /// Uniform-fleet shape, used when host_classes is empty: host_count
+  /// clones of the `host` template with host_memory_mb of memory each.
+  /// 0 = unset (host_count is then required only without classes;
+  /// host_memory_mb falls back to 4096).
+  std::size_t host_count = 0;
+  double host_memory_mb = 0.0;
   MigrationConfig migration;
   /// Factory for each host's scheduler; defaults to the paper's credit
   /// scheduler when empty.
@@ -144,6 +156,18 @@ class Cluster {
   [[nodiscard]] hv::Host& host(HostId id) { return *hosts_.at(id); }
   [[nodiscard]] const hv::Host& host(HostId id) const { return *hosts_.at(id); }
   [[nodiscard]] const ClusterConfig& config() const { return cfg_; }
+  /// The platform class host `id` was built from. Always populated: a
+  /// uniform fleet synthesizes one class per host from the template, so
+  /// planners can consume per-host classes without caring how the fleet
+  /// was configured.
+  [[nodiscard]] const platform::HostClass& host_class(HostId id) const {
+    return classes_.at(id);
+  }
+  /// Physical memory of host `id` (its class's) — the planner's binding
+  /// resource.
+  [[nodiscard]] double host_memory_mb(HostId id) const {
+    return classes_.at(id).memory_mb;
+  }
   [[nodiscard]] const ClusterVmConfig& vm_config(GlobalVmId vm) const {
     return vm_cfgs_.at(vm);
   }
@@ -163,6 +187,9 @@ class Cluster {
   // --- cluster-wide metrics ---
   /// VOVO-gated total energy (powered-off intervals excluded).
   [[nodiscard]] double energy_joules() const;
+  /// One host's VOVO-gated energy — the per-class energy split in the
+  /// cluster bench sums these by class.
+  [[nodiscard]] double host_energy_joules(HostId host) const;
   /// Mean cluster power over the run so far.
   [[nodiscard]] double average_watts() const;
   [[nodiscard]] ClusterVmStats vm_stats(GlobalVmId vm) const;
@@ -189,6 +216,9 @@ class Cluster {
   void on_migration_done(const MigrationRecord& record);
 
   ClusterConfig cfg_;
+  /// One class per host — cfg_.host_classes verbatim, or synthesized from
+  /// the uniform template.
+  std::vector<platform::HostClass> classes_;
   std::vector<std::unique_ptr<hv::Host>> hosts_;
   std::vector<HypervisorAgent*> agents_;  // slot 0 of each host, owned there
   std::unique_ptr<common::ThreadPool> pool_;  // null for the serial driver

@@ -6,6 +6,7 @@
 
 #include "consolidation/consolidation.hpp"
 #include "core/compensation.hpp"
+#include "platform/host_class.hpp"
 
 namespace pas::cluster {
 
@@ -35,20 +36,25 @@ void ClusterManager::on_tick(common::SimTime /*now*/, Cluster& cluster) {
       spec.memory_mb = vc.memory_mb;
       vms.push_back(std::move(spec));
     }
+    // Host specs come from each host's *actual* platform class — ladder,
+    // power model, memory and NUMA layout per machine, not one template —
+    // so the plan sees the fleet the paper's Table 2 describes: machines
+    // that differ.
     std::vector<consolidation::HostSpec> hosts;
     hosts.reserve(cluster.host_count());
     for (HostId h = 0; h < cluster.host_count(); ++h) {
-      consolidation::HostSpec spec;
-      spec.name = "host-" + std::to_string(h);
+      const platform::HostClass& cls = cluster.host_class(h);
+      consolidation::HostSpec spec = platform::to_host_spec(cls);
+      spec.name += "-" + std::to_string(h);
       // Reserve the hypervisor agent's credit out of the schedulable
       // capacity, like Dom0 in the paper's single-host budget.
-      spec.cpu_capacity_pct = 100.0 - cluster.config().agent_credit;
-      spec.memory_mb = cluster.config().host_memory_mb;
-      spec.ladder = cluster.host(h).cpu().ladder();
+      spec.cpu_capacity_pct = cls.cpu_capacity_pct - cluster.config().agent_credit;
       hosts.push_back(std::move(spec));
     }
 
-    const consolidation::Placement plan = consolidation::place_ffd(vms, hosts);
+    consolidation::FfdOptions ffd;
+    ffd.efficient_first = cfg_.efficient_first;
+    const consolidation::Placement plan = consolidation::place_ffd(vms, hosts, ffd);
     // Unplaced VMs are an explicit outcome: they stay where they are, and
     // the count is surfaced so operators see unserved reservations.
     last_plan_unplaced_ = plan.unplaced;

@@ -45,6 +45,14 @@ struct ClusterManagerConfig {
   bool consolidate = true;
   /// Power empty hosts off / needed hosts on.
   bool vovo = true;
+  /// Heterogeneity-aware packing: the planner tries hosts in ascending
+  /// idle-watts-per-MB order (consolidation::packing_cost), so VMs
+  /// consolidate onto the machines that charge the least standby power for
+  /// the binding resource and VOVO retires the expensive ones. No-op on
+  /// uniform fleets (every cost ties — index order); turning it off on a
+  /// mixed fleet gives the naive index-order baseline the cluster bench
+  /// prices the feature against.
+  bool efficient_first = true;
 };
 
 class ClusterManager {

@@ -24,6 +24,25 @@
 // ClusterOutcome::unplaced_vms + the unplaced_* aggregates. The online
 // ClusterManager does exactly that: it leaves unplaced VMs resident where
 // they are and reports them via last_plan_unplaced().
+//
+// Heterogeneous fleets: hosts need not be clones. Each HostSpec carries its
+// own ladder, power model, capacity, memory and NUMA layout (usually cut
+// from a platform::HostClass). The planner reacts in two ways:
+//
+//   * efficient-first packing (FfdOptions::efficient_first, the default):
+//     candidate hosts are tried in ascending packing_cost() order — idle
+//     watts per MB of memory. Powering a host on commits its idle draw for
+//     as long as it stays on (PAS suppresses the utilization term by
+//     ratio^3), and memory is the binding resource (§2.3), so the fleet
+//     energy bill is minimized by buying memory from the hosts that charge
+//     the least standby power for it; VOVO retires the rest. On a uniform
+//     fleet every cost ties and the order degrades to index order,
+//     reproducing the classic FFD placement exactly.
+//   * NUMA spill penalty: a VM whose memory footprint exceeds one NUMA
+//     node's capacity (memory_mb / numa_nodes) cannot be node-local; its
+//     cross-node traffic costs numa_spill_penalty extra CPU, so both the
+//     credit the planner reserves and the demand evaluate() charges are
+//     inflated by (1 + penalty). Single-node hosts never spill.
 #pragma once
 
 #include <cstddef>
@@ -44,7 +63,19 @@ struct HostSpec {
   double memory_mb = 4096.0;
   cpu::FrequencyLadder ladder = cpu::FrequencyLadder::paper_default();
   cpu::PowerModel power = cpu::PowerModel::desktop_2008();
+  /// NUMA layout: memory_mb is split evenly over this many nodes. 1 = UMA.
+  std::size_t numa_nodes = 1;
+  /// Extra CPU fraction a cross-node VM costs on this host (remote-memory
+  /// efficiency loss). Applied to both reserved credit and charged demand
+  /// whenever a VM spills — see numa_spills().
+  double numa_spill_penalty = 0.0;
 };
+
+/// Idle watts per MB of memory — the key efficient-first packing sorts
+/// hosts by: what a host charges in committed standby power per unit of
+/// the binding resource it contributes. Identical specs yield identical
+/// costs, so uniform fleets keep index order.
+[[nodiscard]] double packing_cost(const HostSpec& host);
 
 struct VmSpec {
   std::string name;
@@ -55,6 +86,15 @@ struct VmSpec {
   double cpu_demand_pct = 0.0;
 };
 
+/// True if the VM cannot be node-local on this host: its footprint exceeds
+/// one NUMA node's share of the host memory. Single-node hosts never spill.
+[[nodiscard]] bool numa_spills(const VmSpec& vm, const HostSpec& host);
+
+/// The credit the planner must reserve for this VM on this host: the
+/// purchased credit, inflated by the NUMA spill penalty when the VM's
+/// footprint crosses node capacity.
+[[nodiscard]] double effective_credit_pct(const VmSpec& vm, const HostSpec& host);
+
 inline constexpr std::size_t kUnplaced = std::numeric_limits<std::size_t>::max();
 
 struct Placement {
@@ -64,17 +104,29 @@ struct Placement {
   std::size_t unplaced = 0;
 };
 
+struct FfdOptions {
+  /// Try candidate hosts in ascending packing_cost() order instead of index
+  /// order. Degrades to index order (today's behavior) on uniform fleets,
+  /// where every cost ties and the index breaks the tie.
+  bool efficient_first = true;
+};
+
 /// First-fit decreasing by memory footprint. A VM fits a host if both its
-/// memory and its *credit* (not merely its demand — SLAs must be
-/// honorable) fit the remaining capacity.
+/// memory and its *effective credit* (not merely its demand — SLAs must be
+/// honorable, and a NUMA-spilled VM reserves its penalty too) fit the
+/// remaining capacity.
 [[nodiscard]] Placement place_ffd(const std::vector<VmSpec>& vms,
-                                  const std::vector<HostSpec>& hosts);
+                                  const std::vector<HostSpec>& hosts,
+                                  const FfdOptions& options = {});
 
 struct HostOutcome {
   bool powered_on = false;
-  double cpu_load_pct = 0.0;    // sum of placed demands (absolute)
+  double cpu_load_pct = 0.0;    // sum of placed demands (absolute, NUMA-inflated)
   double credit_reserved_pct = 0.0;
   double memory_used_mb = 0.0;
+  /// Resident VMs whose footprint crosses a NUMA node (demand and credit
+  /// above include their spill penalty).
+  std::size_t numa_spills = 0;
   /// PAS frequency choice for this load (Listing 1.1).
   std::size_t freq_index = 0;
   double power_watts = 0.0;         // at the PAS operating point
@@ -97,6 +149,8 @@ struct ClusterOutcome {
   double unplaced_credit_pct = 0.0;
   double unplaced_demand_pct = 0.0;
   double unplaced_memory_mb = 0.0;
+  /// Total NUMA-spilled VMs across the fleet.
+  std::size_t numa_spills = 0;
   [[nodiscard]] bool all_placed() const { return unplaced_vms.empty(); }
   /// Watts reclaimed by DVFS on top of consolidation.
   [[nodiscard]] double dvfs_saving_watts() const {
@@ -114,7 +168,9 @@ struct ClusterOutcome {
 /// unplaced_vms` / the unplaced_* aggregates — those VMs' demand is NOT in
 /// the outcome's power or load figures.
 ///
-/// Example — a fleet too small for the tenant book:
+/// Example — a fleet too small for the tenant book (this snippet is
+/// compiled and executed by tests/consolidation/consolidation_doc_example_
+/// test.cpp; keep the two in sync):
 ///
 ///     auto placement = place_ffd(vms, hosts);
 ///     if (placement.unplaced > 0) {
@@ -134,7 +190,14 @@ struct ClusterOutcome {
                                       const std::vector<HostSpec>& hosts,
                                       bool allow_unplaced = false);
 
-/// Convenience: a fleet of identical hosts.
+/// Expands per-host "classes" into a named fleet: entry i is a clone of
+/// classes[i % classes.size()] with "-i" appended to its name. Throws on an
+/// empty class list.
+[[nodiscard]] std::vector<HostSpec> fleet_from_classes(
+    std::size_t count, const std::vector<HostSpec>& classes);
+
+/// Convenience: a fleet of identical hosts — the single-class catalog case
+/// of fleet_from_classes.
 [[nodiscard]] std::vector<HostSpec> uniform_fleet(std::size_t count, const HostSpec& spec);
 
 }  // namespace pas::consolidation

@@ -1,5 +1,6 @@
 #include "scenario/hosting_cluster.hpp"
 
+#include <stdexcept>
 #include <string>
 
 #include "workload/load_profile.hpp"
@@ -14,8 +15,18 @@ std::unique_ptr<cluster::Cluster> build_hosting_cluster(const HostingClusterConf
   cc.host.trace_stride = config.trace_stride;
   cc.host.event_driven_fast_path = config.fast_path;
   cc.execution.threads = config.threads;
-  cc.host_count = config.hosts;
-  cc.host_memory_mb = config.host_memory_mb;
+  // The fleet is always a per-host class list: explicit, mixed from the
+  // platform catalog, or `hosts` clones of the uniform class.
+  if (!config.host_classes.empty()) {
+    cc.host_classes = config.host_classes;
+  } else if (config.fleet == FleetPreset::kMixed) {
+    cc.host_classes = platform::mixed_fleet_classes(config.hosts, config.fleet_seed);
+  } else {
+    cc.host_classes = platform::uniform_fleet_classes(config.hosts, config.uniform_class);
+  }
+  if (cc.host_classes.size() != config.hosts)
+    throw std::invalid_argument(
+        "build_hosting_cluster: hosts disagrees with host_classes.size()");
   auto cluster = std::make_unique<cluster::Cluster>(std::move(cc));
 
   const auto horizon_s = config.horizon.us() / 1'000'000;

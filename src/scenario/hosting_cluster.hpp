@@ -13,12 +13,21 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "cluster/cluster.hpp"
 #include "cluster/cluster_manager.hpp"
 #include "common/units.hpp"
+#include "platform/host_class.hpp"
 
 namespace pas::scenario {
+
+/// Fleet composition behind build_hosting_cluster when no explicit class
+/// list is given.
+enum class FleetPreset {
+  kUniform,  // `hosts` copies of `uniform_class`
+  kMixed,    // platform::mixed_fleet_classes(hosts, fleet_seed)
+};
 
 struct HostingClusterConfig {
   std::size_t hosts = 8;
@@ -33,11 +42,31 @@ struct HostingClusterConfig {
   /// are byte-identical at any value.
   std::size_t threads = 1;
   common::SimTime trace_stride = common::seconds(10);
-  double host_memory_mb = 8192.0;
+  /// Explicit per-host classes; non-empty overrides `fleet`, and `hosts`
+  /// must agree with its size (build_hosting_cluster throws otherwise —
+  /// the VM round-robin spreads over `hosts`, so a mismatch would
+  /// mis-home tenants).
+  std::vector<platform::HostClass> host_classes;
+  FleetPreset fleet = FleetPreset::kUniform;
+  /// Class-mixing seed for FleetPreset::kMixed: 0 = the round-robin
+  /// catalog preset, anything else draws per-host classes from an Rng.
+  std::uint64_t fleet_seed = 0;
+  /// The class behind FleetPreset::kUniform. Memory lives here (it used to
+  /// be a lone host_memory_mb scalar, which could silently contradict a
+  /// mixed class list); the default keeps the historical 8 GB hosts with
+  /// the paper's ladder and power model.
+  platform::HostClass uniform_class = default_uniform_class();
   /// Manager configuration; install_manager=false gives the static spread
   /// baseline (no consolidation, no DVFS).
   cluster::ClusterManagerConfig manager;
   bool install_manager = true;
+
+  [[nodiscard]] static platform::HostClass default_uniform_class() {
+    platform::HostClass c;
+    c.name = "host";
+    c.memory_mb = 8192.0;
+    return c;
+  }
 };
 
 [[nodiscard]] std::unique_ptr<cluster::Cluster> build_hosting_cluster(

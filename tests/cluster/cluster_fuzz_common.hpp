@@ -4,10 +4,11 @@
 // tests sweep), scripted execution (run_spec) and the byte-for-byte
 // observable comparison (expect_identical).
 //
-// Used by cluster_fuzz_test.cpp (fast path vs reference loop) and
+// Used by cluster_fuzz_test.cpp (fast path vs reference loop),
 // cluster_parallel_test.cpp (parallel engine vs serial engine, threads in
-// {1, 2, 4, hardware}) so both suites pin their guarantee over the SAME
-// 100 scenario seeds.
+// {1, 2, 4, hardware}) and cluster_hetero_test.cpp (both sweeps over
+// mixed-class fleets, draw_scenario(seed, /*hetero=*/true)) so the suites
+// pin their guarantee over the SAME scenario seeds.
 #pragma once
 
 #include <gtest/gtest.h>
@@ -20,6 +21,7 @@
 #include "cluster/cluster.hpp"
 #include "cluster/cluster_manager.hpp"
 #include "common/random.hpp"
+#include "platform/host_class.hpp"
 #include "sched/credit2_scheduler.hpp"
 #include "sched/credit_scheduler.hpp"
 #include "sched/sedf_scheduler.hpp"
@@ -61,13 +63,20 @@ struct ScenarioSpec {
   common::SimTime horizon{};
   common::SimTime trace_stride{};
   common::SimTime monitor_window{};
+  /// Per-host platform classes; empty = the uniform template fleet. Only
+  /// populated by draw_scenario(seed, /*hetero=*/true).
+  std::vector<platform::HostClass> classes;
   std::vector<VmSpecF> vms;
   bool use_manager = false;
   ClusterManagerConfig mgr;
   std::vector<ScriptedMove> script;
 };
 
-inline ScenarioSpec draw_scenario(std::uint64_t seed) {
+/// `hetero` additionally draws each host's platform class from the fleet
+/// catalog (ladders, power models, memory and NUMA layout all mixed). The
+/// extra draws happen after the shared prefix, so hetero=false reproduces
+/// the historical scenarios bit for bit.
+inline ScenarioSpec draw_scenario(std::uint64_t seed, bool hetero = false) {
   using common::msec;
   using common::seconds;
   using common::SimTime;
@@ -75,6 +84,11 @@ inline ScenarioSpec draw_scenario(std::uint64_t seed) {
   ScenarioSpec s;
   s.hosts = 2 + rng.next_below(3);                      // 2..4
   s.sched = static_cast<int>(rng.next_below(3));
+  if (hetero) {
+    const std::vector<platform::HostClass> catalog = platform::fleet_catalog();
+    for (std::size_t h = 0; h < s.hosts; ++h)
+      s.classes.push_back(catalog[rng.next_below(catalog.size())]);
+  }
   const std::int64_t horizon_s = 120 + static_cast<std::int64_t>(rng.next_below(120));
   s.horizon = seconds(horizon_s);
   s.trace_stride = std::vector<SimTime>{seconds(1), msec(1500), seconds(5)}[rng.next_below(3)];
@@ -130,7 +144,10 @@ inline ScenarioSpec draw_scenario(std::uint64_t seed) {
 inline std::unique_ptr<Cluster> build_cluster(const ScenarioSpec& s, bool fast_path,
                                               std::size_t threads = 1) {
   ClusterConfig cc;
-  cc.host_count = s.hosts;
+  if (s.classes.empty())
+    cc.host_count = s.hosts;
+  else
+    cc.host_classes = s.classes;
   cc.host.trace_stride = s.trace_stride;
   cc.host.monitor_window = s.monitor_window;
   cc.host.event_driven_fast_path = fast_path;
