@@ -27,6 +27,14 @@
 // (full runs only; --smoke keeps the exactness check but is exempt from
 // the speedup gate, which needs real cores and a real horizon).
 //
+// --trace=DIR additionally replays a recorded-demand scenario: the same
+// fleet, every tenant a wl::TraceReplay over a trace from DIR
+// (scenario::WorkloadPreset::kTrace, assignment seeded by --fleet-seed).
+// The replay is run fast-vs-slow (and at --threads if > 1) and must stay
+// byte-identical — `trace.replay_identical` is gated like the other
+// identity contracts, smoke mode included; results land in the
+// `trace{...}` JSON block.
+//
 // --fleet=mixed swaps the uniform 8-GB fleet for the heterogeneous
 // platform catalog (scenario::FleetPreset::kMixed: xeon / optiplex / elite
 // round-robin, hungriest class first). The same three policies run on the
@@ -43,6 +51,7 @@
 //          [--require-rate=RATE] [--threads=N]
 //          [--require-parallel-speedup=X]
 //          [--fleet=uniform|mixed] [--fleet-seed=N] [--require-hetero-saving]
+//          [--trace=DIR]
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -56,12 +65,33 @@
 #include "common/thread_pool.hpp"
 #include "platform/host_class.hpp"
 #include "scenario/hosting_cluster.hpp"
+#include "workload/trace_replay.hpp"
 
 namespace {
 
 using pas::common::seconds;
 using pas::common::SimTime;
 using pas::scenario::HostingClusterConfig;
+
+// Minimal JSON string escaping for user-supplied values (the --trace
+// path): quotes, backslashes and control characters.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
 
 double run_timed(pas::cluster::Cluster& cluster, SimTime horizon) {
   const auto start = std::chrono::steady_clock::now();
@@ -258,6 +288,62 @@ int main(int argc, char** argv) {
     hetero_json += buf;
   }
 
+  // --- trace replay: recorded-demand tenants on the same fleet ---
+  // Fast vs slow (and vs parallel when --threads > 1) must stay
+  // byte-identical with every tenant a TraceReplay; that identity is a
+  // gated contract like the synthetic ones, smoke included.
+  const std::string trace_dir = flags.get_or("trace", "");
+  bool replay_identical = true;
+  std::string trace_json;
+  if (!trace_dir.empty()) {
+    const std::vector<pas::wl::Trace> traces = pas::wl::Trace::load_dir(trace_dir);
+    auto cfg_trace = base;
+    cfg_trace.workload = pas::scenario::WorkloadPreset::kTrace;
+    cfg_trace.traces = traces;
+
+    auto tr_slow_cfg = cfg_trace;
+    tr_slow_cfg.fast_path = false;
+    auto tr_slow = pas::scenario::build_hosting_cluster(tr_slow_cfg);
+    const double tr_slow_wall = run_timed(*tr_slow, horizon);
+
+    auto tr_fast = pas::scenario::build_hosting_cluster(cfg_trace);
+    const double tr_fast_wall = run_timed(*tr_fast, horizon);
+    const double tr_rate = static_cast<double>(horizon_s) / tr_fast_wall;
+    replay_identical = clusters_identical(*tr_slow, *tr_fast);
+
+    if (threads > 1) {
+      auto tr_par_cfg = cfg_trace;
+      tr_par_cfg.threads = threads;
+      auto tr_par = pas::scenario::build_hosting_cluster(tr_par_cfg);
+      (void)run_timed(*tr_par, horizon);
+      replay_identical = replay_identical && clusters_identical(*tr_fast, *tr_par);
+    }
+
+    std::printf("\n  trace replay (%zu trace(s) from %s):\n", traces.size(),
+                trace_dir.c_str());
+    std::printf("  replay fast path  : %8.2f wall ms   %10.0f sim-s/wall-s   "
+                "%.2fx vs slow   identical: %s\n",
+                tr_fast_wall * 1e3, tr_rate, tr_slow_wall / tr_fast_wall,
+                replay_identical ? "yes" : "NO — BUG");
+    std::printf("  replay fleet      : %8.1f mean W   %zu migrations\n",
+                tr_fast->average_watts(), tr_fast->migrations().size());
+
+    // The dir is user-supplied and unbounded: compose around it with
+    // std::string so a long path cannot truncate the JSON.
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    \"files\": %zu,\n"
+                  "    \"replay_identical\": %s,\n"
+                  "    \"sim_per_wall\": %.1f,\n"
+                  "    \"speedup\": %.3f,\n"
+                  "    \"watts\": %.3f,\n"
+                  "    \"migrations\": %zu\n  },\n",
+                  traces.size(), replay_identical ? "true" : "false", tr_rate,
+                  tr_slow_wall / tr_fast_wall, tr_fast->average_watts(),
+                  tr_fast->migrations().size());
+    trace_json = "  \"trace\": {\n    \"dir\": \"" + json_escape(trace_dir) + "\",\n" + buf;
+  }
+
   {
     std::ofstream js{out};
     if (!js) {
@@ -285,16 +371,20 @@ int main(int argc, char** argv) {
                   "  \"watts_consolidation_only\": %.3f,\n"
                   "  \"watts_consolidation_pas\": %.3f,\n"
                   "  \"consolidation_saving_watts\": %.3f,\n"
-                  "  \"dvfs_saving_watts\": %.3f,\n"
-                  "%s"
-                  "  \"migrations\": %zu,\n"
-                  "  \"hosts_on_final\": %zu\n"
-                  "}\n",
+                  "  \"dvfs_saving_watts\": %.3f,\n",
                   hosts, vms, fleet.c_str(), hosts, vms, horizon_s, slow_wall, slow_rate,
                   fast_wall, fast_rate, speedup, identical ? "true" : "false",
                   threads > 1 ? threads : 0, par_wall, par_rate, parallel_speedup,
                   parallel_identical ? "true" : "false", watts_spread, watts_consol,
-                  watts_pas, consolidation_saving, dvfs_saving, hetero_json.c_str(),
+                  watts_pas, consolidation_saving, dvfs_saving);
+    js << buf;
+    // The optional blocks embed unbounded strings (class names, the
+    // --trace path): streamed, not snprintf'd, so they cannot truncate.
+    js << hetero_json << trace_json;
+    std::snprintf(buf, sizeof(buf),
+                  "  \"migrations\": %zu,\n"
+                  "  \"hosts_on_final\": %zu\n"
+                  "}\n",
                   fast->migrations().size(), fast->powered_on_count());
     js << buf;
     std::printf("  written to %s\n", out.c_str());
@@ -306,6 +396,10 @@ int main(int argc, char** argv) {
   }
   if (!parallel_identical) {
     std::printf("  FAIL: parallel engine diverged from the serial engine\n");
+    return 1;
+  }
+  if (!replay_identical) {
+    std::printf("  FAIL: trace replay diverged between engine variants\n");
     return 1;
   }
   const double par_floor = flags.get_double("require-parallel-speedup", 0.0);

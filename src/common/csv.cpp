@@ -1,7 +1,11 @@
 #include "common/csv.hpp"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <sstream>
 #include <stdexcept>
+#include <utility>
 
 namespace pas::common {
 
@@ -73,6 +77,152 @@ void CsvWriter::labeled_row(std::string_view label, std::span<const double> valu
     line += format_number(v);
   }
   write_line(line);
+}
+
+namespace {
+
+[[noreturn]] void fail(const std::string& origin, std::size_t line, const std::string& what) {
+  throw std::runtime_error(origin + ":" + std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+CsvTable CsvTable::parse(std::string_view text, std::string origin) {
+  CsvTable t;
+  t.origin_ = std::move(origin);
+  if (text.empty()) throw std::runtime_error(t.origin_ + ": empty CSV input");
+
+  // One pass, RFC 4180 state machine. `line` is the physical line under the
+  // cursor; `row_line` the line the current row started on (quoted fields
+  // may carry embedded newlines, so rows and lines diverge).
+  std::vector<std::string> row;
+  std::string field;
+  bool quoted = false;        // inside an open quote
+  bool field_was_quoted = false;
+  bool row_has_content = false;  // a comma or any field text was seen
+  std::size_t line = 1;
+  std::size_t row_line = 1;
+
+  auto finish_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_was_quoted = false;
+  };
+  auto finish_row = [&] {
+    finish_field();
+    if (t.header_.empty()) {
+      t.header_ = std::move(row);
+    } else {
+      if (row.size() != t.header_.size())
+        fail(t.origin_, row_line,
+             "ragged row: " + std::to_string(row.size()) + " field(s), header has " +
+                 std::to_string(t.header_.size()));
+      t.cells_.push_back(std::move(row));
+      t.lines_.push_back(row_line);
+    }
+    row.clear();
+    row_has_content = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        if (c == '\n') ++line;
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field.empty() || field_was_quoted)
+          fail(t.origin_, line, "quote opening mid-field");
+        quoted = true;
+        field_was_quoted = true;
+        row_has_content = true;
+        break;
+      case ',':
+        finish_field();
+        row_has_content = true;
+        break;
+      case '\r':
+        // Tolerate CRLF: swallow the CR when an LF follows; a bare CR is
+        // field content (nobody emits classic-Mac CSV on purpose, and
+        // treating it as a terminator would hide encoding bugs).
+        if (i + 1 < text.size() && text[i + 1] == '\n') break;
+        if (field_was_quoted) fail(t.origin_, line, "text after closing quote");
+        field += c;
+        row_has_content = true;  // content like any other: the row must not vanish at EOF
+        break;
+      case '\n':
+        finish_row();
+        ++line;
+        row_line = line;
+        break;
+      default:
+        // A quoted field ends at a separator; '"12"3' is malformed, and
+        // silently reading it as '123' would hand number() a wrong value.
+        if (field_was_quoted) fail(t.origin_, line, "text after closing quote");
+        field += c;
+        row_has_content = true;
+        break;
+    }
+  }
+  if (quoted) fail(t.origin_, row_line, "unterminated quoted field");
+  // Final line without a trailing newline is a row; a trailing newline
+  // leaves nothing pending and must not create a phantom empty row.
+  if (row_has_content || !row.empty()) finish_row();
+
+  if (t.header_.empty() || (t.header_.size() == 1 && t.header_[0].empty()))
+    throw std::runtime_error(t.origin_ + ": empty CSV input");
+  return t;
+}
+
+CsvTable CsvTable::load(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) throw std::runtime_error("CsvTable: cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str(), path);
+}
+
+double CsvTable::number(std::size_t row, std::size_t col) const {
+  const std::string& s = cell(row, col);
+  // Strict decimal grammar only: strtod alone would also accept leading
+  // whitespace, "nan"/"inf" and hex floats, which are never valid trace
+  // cells and must be loud errors, not NaNs smuggled downstream.
+  bool has_digit = false;
+  bool strict = !s.empty();
+  for (const char c : s) {
+    if (c >= '0' && c <= '9')
+      has_digit = true;
+    else if (c != '+' && c != '-' && c != '.' && c != 'e' && c != 'E')
+      strict = false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (!strict || !has_digit || end != s.c_str() + s.size() || errno == ERANGE)
+    fail(origin_, lines_.at(row),
+         "non-numeric cell '" + s + "' in column '" + header_.at(col) + "'");
+  return v;
+}
+
+std::optional<std::size_t> CsvTable::column(std::string_view name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i)
+    if (header_[i] == name) return i;
+  return std::nullopt;
+}
+
+std::string CsvTable::context(std::size_t row) const {
+  return origin_ + ":" + std::to_string(lines_.at(row));
 }
 
 }  // namespace pas::common

@@ -1,12 +1,16 @@
-// Minimal CSV writer for experiment traces.
+// Minimal CSV writer + strict reader for experiment traces.
 //
 // Every bench binary can dump its time series next to the textual report so
 // the figures can be re-plotted with any external tool
-// (`bench_fig05_absolute_credit --csv=fig5.csv`).
+// (`bench_fig05_absolute_credit --csv=fig5.csv`), and recorded traces can be
+// read back as replayable workloads (workload/trace_replay.hpp) through
+// CsvTable.
 #pragma once
 
+#include <cstddef>
 #include <fstream>
 #include <initializer_list>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -49,5 +53,55 @@ class CsvWriter {
 /// Formats a double with enough precision for re-plotting but without
 /// scientific noise ("12.345").
 [[nodiscard]] std::string format_number(double v);
+
+/// Strictly parsed CSV table: a header row plus zero or more data rows, all
+/// of the same width.
+///
+/// Tolerated on input (real-world CSV dialects): CRLF line endings, RFC
+/// 4180 quoted fields (embedded commas, quotes and newlines, `""` escapes),
+/// and a present-or-absent final newline. Rejected, with errors prefixed
+/// `origin:line:` so a bad row in a 10k-line trace is findable: empty
+/// input, an unterminated quote, a quote opening mid-field, and ragged rows
+/// (field count differing from the header's — a blank interior line counts
+/// as a one-field row and is rejected the same way). Non-numeric cells are
+/// rejected by number(), with the same origin:line prefix.
+class CsvTable {
+ public:
+  /// Parses CSV text. `origin` names the source in error messages (a file
+  /// path, or the default "<memory>" for in-memory input).
+  [[nodiscard]] static CsvTable parse(std::string_view text,
+                                      std::string origin = "<memory>");
+
+  /// Reads and parses a file. Throws std::runtime_error if unreadable.
+  [[nodiscard]] static CsvTable load(const std::string& path);
+
+  [[nodiscard]] const std::vector<std::string>& header() const { return header_; }
+  [[nodiscard]] std::size_t columns() const { return header_.size(); }
+  /// Data rows (the header is not one).
+  [[nodiscard]] std::size_t rows() const { return cells_.size(); }
+  [[nodiscard]] const std::string& cell(std::size_t row, std::size_t col) const {
+    return cells_.at(row).at(col);
+  }
+  /// The cell parsed as a double; the whole field must be numeric (throws
+  /// std::runtime_error with origin:line otherwise, including for empty
+  /// cells).
+  [[nodiscard]] double number(std::size_t row, std::size_t col) const;
+  /// Column index of a header name, if present.
+  [[nodiscard]] std::optional<std::size_t> column(std::string_view name) const;
+  /// Physical 1-based line the row started on (quoted fields may span
+  /// lines, so this is not simply row + 2).
+  [[nodiscard]] std::size_t line(std::size_t row) const { return lines_.at(row); }
+  [[nodiscard]] const std::string& origin() const { return origin_; }
+  /// "origin:line" prefix for caller-side validation errors about a row.
+  [[nodiscard]] std::string context(std::size_t row) const;
+
+ private:
+  CsvTable() = default;
+
+  std::string origin_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> cells_;
+  std::vector<std::size_t> lines_;  // per data row
+};
 
 }  // namespace pas::common

@@ -1,8 +1,11 @@
 #include "scenario/hosting_cluster.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
+#include "common/random.hpp"
 #include "workload/load_profile.hpp"
 #include "workload/pi_app.hpp"
 #include "workload/synthetic.hpp"
@@ -31,6 +34,32 @@ std::unique_ptr<cluster::Cluster> build_hosting_cluster(const HostingClusterConf
 
   const auto horizon_s = config.horizon.us() / 1'000'000;
   const auto hosts = static_cast<cluster::HostId>(config.hosts);
+
+  if (config.workload == WorkloadPreset::kTrace) {
+    if (config.traces.empty())
+      throw std::invalid_argument(
+          "build_hosting_cluster: WorkloadPreset::kTrace needs a non-empty trace set");
+    // Per-VM trace assignment is a pure function of (fleet_seed, i): the
+    // same seed that shapes a mixed fleet names the replay cast.
+    common::Rng rng{config.fleet_seed * 0x9e3779b97f4a7c15ULL + 0x7472616365ULL};
+    for (std::size_t i = 0; i < config.vms; ++i) {
+      const wl::Trace& trace = config.traces[rng.next_below(config.traces.size())];
+      cluster::ClusterVmConfig vc;
+      vc.vm.name = "trace" + std::to_string(i) + "_" + trace.name();
+      // Credit covers the trace's peak with 25 % headroom so a healthy
+      // fleet serves every interval; floors/ceilings keep degenerate
+      // traces schedulable.
+      vc.vm.credit = std::clamp(std::ceil(trace.peak_demand_pct() * 1.25), 2.0, 95.0);
+      vc.memory_mb = trace.has_memory() ? trace.peak_memory_mb()
+                                        : 256.0 * static_cast<double>(1 + i % 4);
+      vc.dirty_mb_per_s = 10.0 + 15.0 * static_cast<double>(i % 4);
+      cluster->add_vm(vc, std::make_unique<wl::TraceReplay>(trace),
+                      static_cast<cluster::HostId>(i % hosts));
+    }
+    if (config.install_manager)
+      cluster->install_manager(std::make_unique<cluster::ClusterManager>(config.manager));
+    return cluster;
+  }
 
   // Tenant mix per block of 16 VMs: 4 web, 3 thrashing hogs, 3 batch jobs,
   // 6 reserved-but-idle — the single-host bench's proportions. Every VM

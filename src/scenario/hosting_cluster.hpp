@@ -19,6 +19,7 @@
 #include "cluster/cluster_manager.hpp"
 #include "common/units.hpp"
 #include "platform/host_class.hpp"
+#include "workload/trace_replay.hpp"
 
 namespace pas::scenario {
 
@@ -27,6 +28,12 @@ namespace pas::scenario {
 enum class FleetPreset {
   kUniform,  // `hosts` copies of `uniform_class`
   kMixed,    // platform::mixed_fleet_classes(hosts, fleet_seed)
+};
+
+/// Tenant demand behind build_hosting_cluster.
+enum class WorkloadPreset {
+  kSynthetic,  // the historical web/hog/batch/idle mix
+  kTrace,      // every VM replays a trace from `traces` (wl::TraceReplay)
 };
 
 struct HostingClusterConfig {
@@ -56,6 +63,16 @@ struct HostingClusterConfig {
   /// mixed class list); the default keeps the historical 8 GB hosts with
   /// the paper's ladder and power model.
   platform::HostClass uniform_class = default_uniform_class();
+  /// Tenant demand model. kTrace assigns each VM a trace from `traces`
+  /// (which must then be non-empty), drawn deterministically from
+  /// `fleet_seed` — the same run-shaping seed the mixed fleet uses, so one
+  /// (preset, seed) pair names a reproducible scenario. Per-VM credit is
+  /// sized from the trace's peak demand (25 % headroom) and memory from
+  /// its peak footprint when the trace records one.
+  WorkloadPreset workload = WorkloadPreset::kSynthetic;
+  /// Trace set for WorkloadPreset::kTrace (wl::Trace::load_dir loads a
+  /// directory of CSVs in deterministic filename order).
+  std::vector<wl::Trace> traces;
   /// Manager configuration; install_manager=false gives the static spread
   /// baseline (no consolidation, no DVFS).
   cluster::ClusterManagerConfig manager;

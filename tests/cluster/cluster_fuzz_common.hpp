@@ -6,9 +6,11 @@
 //
 // Used by cluster_fuzz_test.cpp (fast path vs reference loop),
 // cluster_parallel_test.cpp (parallel engine vs serial engine, threads in
-// {1, 2, 4, hardware}) and cluster_hetero_test.cpp (both sweeps over
-// mixed-class fleets, draw_scenario(seed, /*hetero=*/true)) so the suites
-// pin their guarantee over the SAME scenario seeds.
+// {1, 2, 4, hardware}), cluster_hetero_test.cpp (both sweeps over
+// mixed-class fleets, draw_scenario(seed, /*hetero=*/true)) and
+// cluster_trace_test.cpp (both sweeps with a trace-replay VM mix,
+// draw_scenario(seed, hetero, /*trace_mix=*/true)) so the suites pin
+// their guarantee over the SAME scenario seeds.
 #pragma once
 
 #include <gtest/gtest.h>
@@ -28,11 +30,14 @@
 #include "workload/load_profile.hpp"
 #include "workload/pi_app.hpp"
 #include "workload/synthetic.hpp"
+#include "workload/trace_replay.hpp"
 #include "workload/web_app.hpp"
 
 namespace pas::cluster::fuzz {
 
-enum class WlKind { kWeb, kHog, kBatch, kIdle, kBusy };
+/// kTrace is never drawn by the shared prefix (next_below(5) spans the
+/// first five) — only the trace_mix re-roll assigns it.
+enum class WlKind { kWeb, kHog, kBatch, kIdle, kBusy, kTrace };
 
 struct VmSpecF {
   WlKind kind = WlKind::kIdle;
@@ -49,6 +54,8 @@ struct VmSpecF {
   // batch
   common::Work pi_work{};
   common::SimTime pi_start{};
+  // trace replay (kind == kTrace only)
+  std::vector<wl::TracePoint> trace_points;
 };
 
 struct ScriptedMove {
@@ -75,8 +82,13 @@ struct ScenarioSpec {
 /// `hetero` additionally draws each host's platform class from the fleet
 /// catalog (ladders, power models, memory and NUMA layout all mixed). The
 /// extra draws happen after the shared prefix, so hetero=false reproduces
-/// the historical scenarios bit for bit.
-inline ScenarioSpec draw_scenario(std::uint64_t seed, bool hetero = false) {
+/// the historical scenarios bit for bit. `trace_mix` re-rolls about half
+/// the VMs into wl::TraceReplay over random step-function demand series;
+/// those draws are appended after EVERYTHING else (including the hetero
+/// block and the migration script), so the historical seeds are again
+/// unchanged.
+inline ScenarioSpec draw_scenario(std::uint64_t seed, bool hetero = false,
+                                  bool trace_mix = false) {
   using common::msec;
   using common::seconds;
   using common::SimTime;
@@ -136,6 +148,31 @@ inline ScenarioSpec draw_scenario(std::uint64_t seed, bool hetero = false) {
   }
   std::sort(s.script.begin(), s.script.end(),
             [](const ScriptedMove& a, const ScriptedMove& b) { return a.at < b.at; });
+
+  if (trace_mix) {
+    for (VmSpecF& v : s.vms) {
+      if (!rng.chance(0.5)) continue;
+      v.kind = WlKind::kTrace;
+      // A random step series: 2..7 demand intervals with off-grid
+      // timestamps (microsecond jitter — trace points owe the quantum
+      // grid nothing), zero-demand gaps mixed in, closed by a final
+      // demand-0 point. Some series intentionally run past the horizon.
+      const std::size_t intervals = 2 + rng.next_below(6);
+      std::int64_t t_us = static_cast<std::int64_t>(rng.next_below(
+                              static_cast<std::uint64_t>(horizon_s / 3))) *
+                              1'000'000 +
+                          static_cast<std::int64_t>(rng.next_below(1'000'000));
+      v.trace_points.clear();
+      for (std::size_t p = 0; p < intervals; ++p) {
+        const double demand = rng.chance(0.3) ? 0.0 : rng.uniform(1.0, 60.0);
+        v.trace_points.push_back({common::usec(t_us), demand, 0.0});
+        t_us += 1'000'000 +
+                static_cast<std::int64_t>(rng.next_below(
+                    static_cast<std::uint64_t>(horizon_s) * 1'000'000 / 4));
+      }
+      v.trace_points.push_back({common::usec(t_us), 0.0, 0.0});
+    }
+  }
   return s;
 }
 
@@ -191,6 +228,10 @@ inline std::unique_ptr<Cluster> build_cluster(const ScenarioSpec& s, bool fast_p
         break;
       case WlKind::kIdle:
         workload = std::make_unique<wl::IdleGuest>();
+        break;
+      case WlKind::kTrace:
+        workload = std::make_unique<wl::TraceReplay>(
+            wl::Trace{v.trace_points, "fuzz" + std::to_string(i)});
         break;
     }
     cluster->add_vm(std::move(vc), std::move(workload), v.home);

@@ -61,5 +61,158 @@ TEST(CsvTest, ThrowsOnUnwritablePath) {
   EXPECT_THROW(CsvWriter{"/nonexistent-dir-xyz/file.csv"}, std::runtime_error);
 }
 
+// --- CsvTable (the strict reader) ---
+
+// Captures the message of the runtime_error `fn` must throw.
+template <typename Fn>
+std::string thrown_message(Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected std::runtime_error";
+  return {};
+}
+
+TEST(CsvTableTest, ParsesPlainTable) {
+  const auto t = CsvTable::parse("t,x\n1,2.5\n2,3.5\n");
+  ASSERT_EQ(t.columns(), 2u);
+  EXPECT_EQ(t.header()[0], "t");
+  ASSERT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cell(1, 1), "3.5");
+  EXPECT_DOUBLE_EQ(t.number(1, 1), 3.5);
+  EXPECT_EQ(t.line(0), 2u);
+  EXPECT_EQ(t.line(1), 3u);
+}
+
+TEST(CsvTableTest, MissingTrailingNewlineIsTolerated) {
+  const auto t = CsvTable::parse("a,b\n1,2");
+  ASSERT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.cell(0, 1), "2");
+}
+
+TEST(CsvTableTest, TrailingNewlineAddsNoPhantomRow) {
+  EXPECT_EQ(CsvTable::parse("a,b\n1,2\n").rows(), 1u);
+}
+
+TEST(CsvTableTest, CrlfLineEndingsAreTolerated) {
+  const auto t = CsvTable::parse("a,b\r\n1,2\r\n3,4\r\n");
+  ASSERT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cell(0, 0), "1");
+  EXPECT_EQ(t.cell(1, 1), "4");
+}
+
+TEST(CsvTableTest, QuotedFieldsWithCommasQuotesAndNewlines) {
+  const auto t = CsvTable::parse("name,v\n\"a,b\",1\n\"say \"\"hi\"\"\",2\n\"l1\nl2\",3\n");
+  ASSERT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cell(0, 0), "a,b");
+  EXPECT_EQ(t.cell(1, 0), "say \"hi\"");
+  EXPECT_EQ(t.cell(2, 0), "l1\nl2");
+  // The embedded newline shifts physical lines: row 2 starts on line 4 but
+  // a row after it would start on line 6.
+  EXPECT_EQ(t.line(2), 4u);
+}
+
+TEST(CsvTableTest, RoundTripsWriterEscapes) {
+  CsvWriter w;
+  w.header({"label", "x"});
+  w.labeled_row("a,\"b\"\nc", std::vector<double>{1.5});
+  const auto t = CsvTable::parse(w.str());
+  ASSERT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.cell(0, 0), "a,\"b\"\nc");
+  EXPECT_DOUBLE_EQ(t.number(0, 1), 1.5);
+}
+
+TEST(CsvTableTest, EmptyInputRejected) {
+  EXPECT_THROW((void)CsvTable::parse(""), std::runtime_error);
+  EXPECT_THROW((void)CsvTable::parse("\n"), std::runtime_error);
+}
+
+TEST(CsvTableTest, RaggedRowRejectedWithLineNumber) {
+  const std::string msg = thrown_message(
+      [] { (void)CsvTable::parse("a,b\n1,2\n3\n", "trace.csv"); });
+  EXPECT_NE(msg.find("trace.csv:3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("ragged"), std::string::npos) << msg;
+}
+
+TEST(CsvTableTest, BlankInteriorLineIsARaggedRow) {
+  EXPECT_THROW((void)CsvTable::parse("a,b\n1,2\n\n3,4\n"), std::runtime_error);
+}
+
+TEST(CsvTableTest, UnterminatedQuoteRejected) {
+  const std::string msg =
+      thrown_message([] { (void)CsvTable::parse("a\n\"open\n", "t.csv"); });
+  EXPECT_NE(msg.find("unterminated"), std::string::npos) << msg;
+}
+
+TEST(CsvTableTest, NonNumericCellRejectedWithLineAndColumn) {
+  const auto t = CsvTable::parse("t,demand\n1,5\n2,oops\n", "demo.csv");
+  EXPECT_DOUBLE_EQ(t.number(0, 1), 5.0);
+  const std::string msg = thrown_message([&] { (void)t.number(1, 1); });
+  EXPECT_NE(msg.find("demo.csv:3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("oops"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("demand"), std::string::npos) << msg;
+}
+
+TEST(CsvTableTest, NanInfHexAndPaddedCellsRejected) {
+  // strtod would accept all of these; the strict grammar must not.
+  for (const char* cell : {"nan", "inf", "-inf", "0x10", " 1", "1 ", "\t2"}) {
+    const auto t = CsvTable::parse(std::string{"x\n\""} + cell + "\"\n");
+    EXPECT_THROW((void)t.number(0, 0), std::runtime_error) << cell;
+  }
+  // The plain grammar still covers everything the writers emit.
+  const auto ok = CsvTable::parse("x\n-1.5e-3\n");
+  EXPECT_DOUBLE_EQ(ok.number(0, 0), -1.5e-3);
+}
+
+TEST(CsvTableTest, BareCrIsFieldContentEvenAtEof) {
+  // A bare CR (no LF) is field content, and a final line holding only one
+  // must surface as a row — a one-cell row here — not vanish silently.
+  const auto t = CsvTable::parse("x\n\r");
+  ASSERT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.cell(0, 0), "\r");
+  EXPECT_THROW((void)t.number(0, 0), std::runtime_error);
+}
+
+TEST(CsvTableTest, TextAfterClosingQuoteRejected) {
+  EXPECT_THROW((void)CsvTable::parse("a\n\"12\"3\n"), std::runtime_error);
+  const std::string msg =
+      thrown_message([] { (void)CsvTable::parse("a\n\"12\"3\n", "q.csv"); });
+  EXPECT_NE(msg.find("q.csv:2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("after closing quote"), std::string::npos) << msg;
+  // A quoted field followed by a separator stays legal.
+  const auto ok = CsvTable::parse("a,b\n\"1\",\"2\"\n");
+  EXPECT_EQ(ok.cell(0, 1), "2");
+}
+
+TEST(CsvTableTest, EmptyAndPartiallyNumericCellsRejected) {
+  const auto t = CsvTable::parse("x\n\n", "p.csv");  // row is the empty cell
+  ASSERT_EQ(t.rows(), 1u);
+  EXPECT_THROW((void)t.number(0, 0), std::runtime_error);
+  const auto u = CsvTable::parse("x\n12abc\n");
+  EXPECT_THROW((void)u.number(0, 0), std::runtime_error);
+}
+
+TEST(CsvTableTest, ColumnLookup) {
+  const auto t = CsvTable::parse("t_sec,demand_pct\n0,1\n");
+  ASSERT_TRUE(t.column("demand_pct").has_value());
+  EXPECT_EQ(*t.column("demand_pct"), 1u);
+  EXPECT_FALSE(t.column("absent").has_value());
+}
+
+TEST(CsvTableTest, LoadsFileAndUsesPathInErrors) {
+  const std::string path = ::testing::TempDir() + "/pas_csv_table_test.csv";
+  {
+    std::ofstream out{path};
+    out << "a,b\n1,nope\n";
+  }
+  const auto t = CsvTable::load(path);
+  const std::string msg = thrown_message([&] { (void)t.number(0, 1); });
+  EXPECT_NE(msg.find(path + ":2"), std::string::npos) << msg;
+  std::remove(path.c_str());
+  EXPECT_THROW((void)CsvTable::load("/nonexistent-dir-xyz/t.csv"), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace pas::common

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Generate replayable demand traces (the wl::Trace CSV format).
+
+Writes a step-function demand series — `t_sec,demand_pct[,memory_mb]`,
+strictly increasing timestamps, final demand 0 — that
+`bench_cluster_consolidation --trace=DIR` and
+`scenario::WorkloadPreset::kTrace` replay through `wl::TraceReplay`.
+Deterministic for a given (kind, seed): the bundled set under
+examples/traces/ was produced by the commands in examples/traces/README.md
+and can be regenerated bit-for-bit.
+
+Shapes:
+  web     sinusoidal day cycle (interactive tenants: quiet night, busy
+          afternoon) plus mild seeded noise
+  batch   off-peak rectangular batch windows (nightly jobs)
+  bursty  low baseline with short seeded spikes
+  flat    constant demand (calibration / sizing baseline)
+
+Usage:
+  tools/gen_trace.py --out=examples/traces/web_day.csv --kind=web \
+      --seed=1 --duration=4000 --step=10 --peak=45 [--memory=512]
+"""
+
+import argparse
+import math
+import random
+import sys
+
+
+def demand_series(kind: str, rng: random.Random, steps: int, peak: float) -> list[float]:
+    out = []
+    for i in range(steps):
+        phase = i / max(1, steps)  # one "day" across the whole trace
+        if kind == "web":
+            # Night trough at phase 0, afternoon crest at phase ~0.6.
+            base = max(0.0, math.sin(math.pi * (phase**0.8)))
+            v = peak * (0.15 + 0.85 * base) + rng.uniform(-0.05, 0.05) * peak
+        elif kind == "batch":
+            # Two nightly windows: [0.05, 0.25) and [0.7, 0.85).
+            active = 0.05 <= phase < 0.25 or 0.7 <= phase < 0.85
+            v = peak * (0.9 + rng.uniform(0.0, 0.1)) if active else 0.0
+        elif kind == "bursty":
+            v = peak * 0.08
+            if rng.random() < 0.06:
+                v = peak * rng.uniform(0.6, 1.0)
+        elif kind == "flat":
+            v = peak
+        else:
+            raise ValueError(f"unknown kind {kind!r}")
+        out.append(min(99.0, max(0.0, v)))
+    return out
+
+
+def main(argv: list[str]) -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--out", required=True, help="output CSV path")
+    p.add_argument("--kind", default="web", choices=["web", "batch", "bursty", "flat"])
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--duration", type=float, default=4000.0, help="trace length, seconds")
+    p.add_argument("--step", type=float, default=10.0, help="interval length, seconds")
+    p.add_argument("--peak", type=float, default=45.0, help="peak demand, percent")
+    p.add_argument("--memory", type=float, default=0.0,
+                   help="constant memory footprint column, MB (0 = omit)")
+    args = p.parse_args(argv)
+
+    if args.step <= 0 or args.duration < args.step:
+        p.error("--duration must cover at least one --step")
+    steps = int(args.duration / args.step)
+    rng = random.Random(args.seed)
+    series = demand_series(args.kind, rng, steps, args.peak)
+
+    with open(args.out, "w", newline="\n") as f:
+        f.write("t_sec,demand_pct,memory_mb\n" if args.memory > 0 else
+                "t_sec,demand_pct\n")
+        for i, v in enumerate(series):
+            cells = [f"{i * args.step:.6f}", f"{v:.6f}"]
+            if args.memory > 0:
+                cells.append(f"{args.memory:.6f}")
+            f.write(",".join(cells) + "\n")
+        # The closing point: demand 0 from the end of the last interval on.
+        cells = [f"{steps * args.step:.6f}", "0.000000"]
+        if args.memory > 0:
+            cells.append(f"{args.memory:.6f}")
+        f.write(",".join(cells) + "\n")
+    print(f"wrote {args.out}: {steps + 1} points, kind={args.kind}, "
+          f"peak={max(series):.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
