@@ -46,12 +46,21 @@
 // CI floor (full runs only; --smoke is exempt like the speedup gate — a
 // short horizon barely starts packing).
 //
+// --chaos-seed=N additionally reruns the scenario under a seeded fault
+// schedule (fault::draw_fault_plan: host crashes, migration aborts, link
+// degradation, planner brownouts) fast-vs-slow (and at --threads if > 1).
+// Byte-identity under faults is gated like the other identity contracts,
+// smoke included; survived-VM and recovery-latency stats land in the
+// `chaos{...}` JSON block. The chaos runs are separate from the policy
+// measurements above — fault-free numbers stay fault-free.
+//
 // Usage: bench_cluster_consolidation [--smoke] [--horizon=SECONDS]
 //          [--hosts=8] [--vms=64] [--out=BENCH_cluster.json]
 //          [--require-rate=RATE] [--threads=N]
 //          [--require-parallel-speedup=X]
 //          [--fleet=uniform|mixed] [--fleet-seed=N] [--require-hetero-saving]
-//          [--trace=DIR]
+//          [--trace=DIR] [--chaos-seed=N]
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -126,9 +135,12 @@ bool clusters_identical(pas::cluster::Cluster& a, pas::cluster::Cluster& b) {
   for (std::size_t i = 0; i < a.migrations().size(); ++i) {
     if (a.migrations()[i].vm != b.migrations()[i].vm ||
         a.migrations()[i].start != b.migrations()[i].start ||
-        a.migrations()[i].end != b.migrations()[i].end)
+        a.migrations()[i].end != b.migrations()[i].end ||
+        a.migrations()[i].outcome != b.migrations()[i].outcome)
       return false;
   }
+  for (pas::cluster::GlobalVmId g = 0; g < a.vm_count(); ++g)
+    if (a.vm_state(g) != b.vm_state(g)) return false;
   for (pas::cluster::GlobalVmId g = 0; g < a.vm_count(); ++g)
     if (a.residence(g) != b.residence(g)) return false;
   return true;
@@ -344,6 +356,100 @@ int main(int argc, char** argv) {
     trace_json = "  \"trace\": {\n    \"dir\": \"" + json_escape(trace_dir) + "\",\n" + buf;
   }
 
+  // --- chaos: the same scenario under a seeded fault schedule ---
+  // Separate runs so the policy numbers above stay fault-free; the gate is
+  // the standing byte-identity contract, now under crashes/aborts/degraded
+  // links/brownouts.
+  const auto chaos_seed = static_cast<std::uint64_t>(flags.get_int("chaos-seed", 0));
+  bool chaos_identical = true;
+  std::string chaos_json;
+  if (chaos_seed != 0) {
+    auto cfg_chaos = base;
+    cfg_chaos.chaos_seed = chaos_seed;
+
+    auto ch_slow_cfg = cfg_chaos;
+    ch_slow_cfg.fast_path = false;
+    auto ch_slow = pas::scenario::build_hosting_cluster(ch_slow_cfg);
+    ch_slow->run_until(horizon);
+
+    auto ch_fast = pas::scenario::build_hosting_cluster(cfg_chaos);
+    ch_fast->run_until(horizon);
+    chaos_identical = clusters_identical(*ch_slow, *ch_fast);
+
+    if (threads > 1) {
+      auto ch_par_cfg = cfg_chaos;
+      ch_par_cfg.threads = threads;
+      auto ch_par = pas::scenario::build_hosting_cluster(ch_par_cfg);
+      ch_par->run_until(horizon);
+      chaos_identical = chaos_identical && clusters_identical(*ch_fast, *ch_par);
+    }
+
+    const pas::fault::FaultInjector& inj = *ch_fast->faults();
+    std::size_t brownout_skipped = 0;
+    std::size_t restarts = 0;
+    std::size_t abandoned = 0;
+    if (auto* mgr = ch_fast->manager()) {
+      brownout_skipped = mgr->ticks_skipped();
+      restarts = mgr->restarts_issued();
+      abandoned = mgr->restarts_abandoned();
+    }
+    double rec_mean_s = 0.0;
+    double rec_max_s = 0.0;
+    for (const auto& r : ch_fast->recoveries()) {
+      const double lat = r.latency().sec();
+      rec_mean_s += lat;
+      rec_max_s = std::max(rec_max_s, lat);
+    }
+    if (!ch_fast->recoveries().empty())
+      rec_mean_s /= static_cast<double>(ch_fast->recoveries().size());
+
+    std::printf("\n  chaos (seed %llu): %zu fault(s) drawn — %zu crash(es), "
+                "%zu abort(s), %zu degrade(s), %zu brownout(s)\n",
+                static_cast<unsigned long long>(chaos_seed), inj.plan().events.size(),
+                inj.plan().count(pas::fault::FaultKind::kHostCrash),
+                inj.plan().count(pas::fault::FaultKind::kMigrationAbort),
+                inj.plan().count(pas::fault::FaultKind::kLinkDegrade),
+                inj.plan().count(pas::fault::FaultKind::kBrownout));
+    std::printf("  fired: %zu crash(es), %zu abort(s), %zu degrade(s); "
+                "%zu tick(s) browned out\n",
+                inj.crashes_fired(), inj.aborts_fired(), inj.link_degrades_fired(),
+                brownout_skipped);
+    std::printf("  VMs: %zu/%zu survived, %zu lost; %zu recovery restart(s) "
+                "(mean %.1f s, max %.1f s), %zu abandoned\n",
+                ch_fast->running_vm_count(), static_cast<std::size_t>(ch_fast->vm_count()),
+                ch_fast->lost_vm_count(), ch_fast->recoveries().size(), rec_mean_s,
+                rec_max_s, abandoned);
+    std::printf("  identity under faults (fast/slow%s): %s\n",
+                threads > 1 ? "/parallel" : "",
+                chaos_identical ? "yes" : "NO — BUG");
+
+    char buf[1024];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"chaos\": {\n"
+                  "    \"seed\": %llu,\n"
+                  "    \"faults_drawn\": %zu,\n"
+                  "    \"crashes\": %zu,\n"
+                  "    \"migration_aborts\": %zu,\n"
+                  "    \"link_degrades\": %zu,\n"
+                  "    \"brownout_ticks_skipped\": %zu,\n"
+                  "    \"vms\": %zu,\n"
+                  "    \"vms_survived\": %zu,\n"
+                  "    \"vms_lost\": %zu,\n"
+                  "    \"recovery_restarts\": %zu,\n"
+                  "    \"recovery_abandoned\": %zu,\n"
+                  "    \"recovery_latency_mean_s\": %.3f,\n"
+                  "    \"recovery_latency_max_s\": %.3f,\n"
+                  "    \"restarts_issued\": %zu,\n"
+                  "    \"chaos_identical\": %s\n  },\n",
+                  static_cast<unsigned long long>(chaos_seed), inj.plan().events.size(),
+                  inj.crashes_fired(), inj.aborts_fired(), inj.link_degrades_fired(),
+                  brownout_skipped, static_cast<std::size_t>(ch_fast->vm_count()),
+                  ch_fast->running_vm_count(), ch_fast->lost_vm_count(),
+                  ch_fast->recoveries().size(), abandoned, rec_mean_s, rec_max_s,
+                  restarts, chaos_identical ? "true" : "false");
+    chaos_json = buf;
+  }
+
   {
     std::ofstream js{out};
     if (!js) {
@@ -380,7 +486,7 @@ int main(int argc, char** argv) {
     js << buf;
     // The optional blocks embed unbounded strings (class names, the
     // --trace path): streamed, not snprintf'd, so they cannot truncate.
-    js << hetero_json << trace_json;
+    js << hetero_json << trace_json << chaos_json;
     std::snprintf(buf, sizeof(buf),
                   "  \"migrations\": %zu,\n"
                   "  \"hosts_on_final\": %zu\n"
@@ -400,6 +506,10 @@ int main(int argc, char** argv) {
   }
   if (!replay_identical) {
     std::printf("  FAIL: trace replay diverged between engine variants\n");
+    return 1;
+  }
+  if (!chaos_identical) {
+    std::printf("  FAIL: engines diverged under injected faults\n");
     return 1;
   }
   const double par_floor = flags.get_double("require-parallel-speedup", 0.0);

@@ -1,9 +1,12 @@
 #include "cluster/cluster.hpp"
 
+#include <cassert>
 #include <stdexcept>
 #include <utility>
 
 #include "cluster/cluster_manager.hpp"
+#include "core/compensation.hpp"
+#include "fault/fault.hpp"
 #include "sched/credit_scheduler.hpp"
 #include "workload/synthetic.hpp"
 
@@ -50,6 +53,7 @@ std::vector<platform::HostClass> resolve_classes(const ClusterConfig& cfg) {
 Cluster::Cluster(ClusterConfig config)
     : cfg_(std::move(config)), classes_(resolve_classes(cfg_)), meter_(classes_.size()) {
   engine_ = std::make_unique<MigrationEngine>(cfg_.migration, events_);
+  crashed_.assign(classes_.size(), 0);
 
   const std::size_t executors = cfg_.execution.threads == 0
                                     ? common::ThreadPool::hardware_threads()
@@ -98,6 +102,9 @@ GlobalVmId Cluster::add_vm(ClusterVmConfig config, std::unique_ptr<wl::Workload>
   sla_.register_vm(gid, config.vm.credit);
   vm_cfgs_.push_back(std::move(config));
   home_.push_back(home);
+  vm_state_.push_back(VmState::kRunning);
+  orphan_wl_.emplace_back();
+  orphan_since_.emplace_back();
   downtime_.emplace_back();
   migration_count_.push_back(0);
   return gid;
@@ -106,6 +113,11 @@ GlobalVmId Cluster::add_vm(ClusterVmConfig config, std::unique_ptr<wl::Workload>
 void Cluster::install_manager(std::unique_ptr<ClusterManager> manager) {
   if (started_) throw std::logic_error("Cluster: install_manager after run started");
   manager_ = std::move(manager);
+}
+
+void Cluster::install_faults(std::unique_ptr<fault::FaultInjector> injector) {
+  if (started_) throw std::logic_error("Cluster: install_faults after run started");
+  injector_ = std::move(injector);
 }
 
 void Cluster::install_periodic_tasks() {
@@ -127,6 +139,9 @@ void Cluster::install_periodic_tasks() {
 void Cluster::sample_sla(common::SimTime /*now*/) {
   const common::SimTime window = cfg_.host.monitor_window;
   for (GlobalVmId gid = 0; gid < vm_cfgs_.size(); ++gid) {
+    // Paused VMs are accounted at attach time; orphaned VMs at restart
+    // time; lost VMs stop accruing windows at the crash.
+    if (vm_state_[gid] != VmState::kRunning) continue;
     if (engine_->detached(gid)) continue;  // pause accounted at attach time
     const hv::Host& h = *hosts_[home_[gid]];
     const common::VmId s = slot(gid);
@@ -136,19 +151,41 @@ void Cluster::sample_sla(common::SimTime /*now*/) {
 }
 
 void Cluster::on_migration_done(const MigrationRecord& record) {
-  home_[record.vm] = record.to;
-  downtime_[record.vm] += record.downtime;
-  ++migration_count_[record.vm];
-  // The stop-and-copy pause is SLA-visible: a full window of length
-  // `downtime` in which a (by definition demand-bearing) VM received
-  // nothing at all.
-  sla_.record_window(record.vm, record.downtime, 0.0, /*saturated=*/true);
+  switch (record.outcome) {
+    case MigrationOutcome::kCompleted:
+      home_[record.vm] = record.to;
+      downtime_[record.vm] += record.downtime;
+      ++migration_count_[record.vm];
+      // The stop-and-copy pause is SLA-visible: a full window of length
+      // `downtime` in which a (by definition demand-bearing) VM received
+      // nothing at all.
+      sla_.record_window(record.vm, record.downtime, 0.0, /*saturated=*/true);
+      break;
+    case MigrationOutcome::kAbortedPrecopy:
+      // The guest never stopped running on the source: residence, downtime
+      // and SLA are all untouched. Only the agents' per-round overhead
+      // remains — bytes that really were pushed.
+      break;
+    case MigrationOutcome::kAbortedStopCopy:
+      // Rolled back to the source: residence unchanged, but the truncated
+      // pause really happened and is charged like a completed flight's.
+      downtime_[record.vm] += record.downtime;
+      if (record.downtime > common::SimTime{})
+        sla_.record_window(record.vm, record.downtime, 0.0, /*saturated=*/true);
+      break;
+    case MigrationOutcome::kLostSourceCrash:
+      // The guest evaporated with its source; the crash sweep that caused
+      // this runs right after and handles the host side.
+      vm_state_[record.vm] = VmState::kLost;
+      break;
+  }
 }
 
 bool Cluster::migrate(GlobalVmId vm, HostId to) {
   if (vm >= vm_cfgs_.size()) throw std::invalid_argument("Cluster: bad VM id");
   if (to >= hosts_.size()) throw std::invalid_argument("Cluster: bad destination host");
   if (to == home_[vm] || engine_->in_flight(vm)) return false;
+  if (vm_state_[vm] != VmState::kRunning || crashed_[to]) return false;
 
   const HostId from = home_[vm];
   set_powered(to, true);  // the destination must be receiving
@@ -162,16 +199,132 @@ bool Cluster::migrate(GlobalVmId vm, HostId to) {
 }
 
 bool Cluster::host_in_use(HostId host) const {
-  for (const HostId h : home_)
-    if (h == host) return true;
+  for (GlobalVmId gid = 0; gid < home_.size(); ++gid)
+    if (home_[gid] == host && vm_state_[gid] == VmState::kRunning) return true;
   return engine_->endpoint_in_flight(host);
 }
 
 bool Cluster::set_powered(HostId host, bool on) {
   if (host >= hosts_.size()) throw std::invalid_argument("Cluster: bad host id");
+  if (on && crashed_[host]) return false;
   if (!on && host_in_use(host)) return false;
   meter_.set_powered(host, on, hosts_[host]->energy().joules());
   return true;
+}
+
+bool Cluster::crash_host(HostId host, bool restart_orphans) {
+  if (host >= hosts_.size()) throw std::invalid_argument("Cluster: bad host id");
+  if (crashed_[host]) return false;
+  std::size_t alive = 0;
+  for (const auto c : crashed_)
+    if (c == 0) ++alive;
+  if (alive <= 1) return false;  // a zero-host cluster cannot be simulated
+
+  crashed_[host] = 1;
+  // Migrations first, residents second: a destination crash then rolls its
+  // guest back onto a source that is still intact, and a source crash
+  // during pre-copy returns the guest to `host` in time for the resident
+  // sweep below to orphan it like any other resident.
+  engine_->abort_host_flights(host, now_);
+  hv::Host& h = *hosts_[host];
+  for (GlobalVmId gid = 0; gid < vm_cfgs_.size(); ++gid) {
+    if (home_[gid] != host || vm_state_[gid] != VmState::kRunning) continue;
+    auto workload = h.swap_workload(slot(gid), std::make_unique<wl::IdleGuest>());
+    // Crash semantics for credit: the balance dies with the host (unlike a
+    // migration's export, nothing carries it), and the cap drops to zero so
+    // the dead slot earns nothing.
+    h.scheduler().set_cap(slot(gid), 0.0);
+    h.scheduler().import_credit(slot(gid), common::SimTime{});
+    if (restart_orphans) {
+      vm_state_[gid] = VmState::kOrphaned;
+      orphan_wl_[gid] = std::move(workload);
+      orphan_since_[gid] = now_;
+    } else {
+      vm_state_[gid] = VmState::kLost;
+    }
+  }
+  // Silence the host's hypervisor agent too — a crashed host burns no CPU.
+  h.scheduler().set_cap(0, 0.0);
+  h.scheduler().import_credit(0, common::SimTime{});
+  const bool off = set_powered(host, false);
+  (void)off;
+  assert(off && "crashed host must be powerable-off after the sweep");
+  return true;
+}
+
+bool Cluster::restart_vm(GlobalVmId vm, HostId to) {
+  if (vm >= vm_cfgs_.size()) throw std::invalid_argument("Cluster: bad VM id");
+  if (to >= hosts_.size()) throw std::invalid_argument("Cluster: bad host id");
+  if (vm_state_[vm] != VmState::kOrphaned || crashed_[to]) return false;
+
+  set_powered(to, true);  // recovery may revive a VOVO-parked host
+  hv::Host& dst = *hosts_[to];
+  (void)dst.swap_workload(slot(vm), std::move(orphan_wl_[vm]));
+  const ClusterVmConfig& cfg = vm_cfgs_[vm];
+  // Same re-attach contract as a migration's attach: purchased credit
+  // compensated for the destination's current P-state — but with an empty
+  // balance, because the crash burned whatever the slot held.
+  dst.scheduler().set_cap(slot(vm),
+                          core::compensated_credit(cfg.vm.credit, dst.cpu().ladder(),
+                                                   dst.cpu().current_index()));
+  dst.scheduler().import_credit(slot(vm), common::SimTime{});
+  home_[vm] = to;
+  vm_state_[vm] = VmState::kRunning;
+  const common::SimTime outage = now_ - orphan_since_[vm];
+  if (outage > common::SimTime{})
+    sla_.record_window(vm, outage, 0.0, /*saturated=*/true);
+  recoveries_.push_back(VmRecovery{vm, orphan_since_[vm], now_});
+  return true;
+}
+
+void Cluster::mark_lost(GlobalVmId vm) {
+  if (vm >= vm_cfgs_.size()) throw std::invalid_argument("Cluster: bad VM id");
+  if (vm_state_[vm] != VmState::kOrphaned) return;
+  orphan_wl_[vm].reset();
+  vm_state_[vm] = VmState::kLost;
+}
+
+bool Cluster::abort_migration(GlobalVmId vm) {
+  if (vm >= vm_cfgs_.size()) throw std::invalid_argument("Cluster: bad VM id");
+  return engine_->cancel(vm, now_);
+}
+
+bool Cluster::abort_oldest_migration() {
+  const auto vms = engine_->in_flight_vms();
+  if (vms.empty()) return false;
+  return engine_->cancel(vms.front(), now_);
+}
+
+void Cluster::set_link_bandwidth(double mb_per_s) {
+  engine_->set_link_bandwidth(mb_per_s, now_);
+}
+
+std::size_t Cluster::crashed_count() const {
+  std::size_t n = 0;
+  for (const auto c : crashed_)
+    if (c != 0) ++n;
+  return n;
+}
+
+std::vector<GlobalVmId> Cluster::orphaned_vms() const {
+  std::vector<GlobalVmId> vms;
+  for (GlobalVmId gid = 0; gid < vm_state_.size(); ++gid)
+    if (vm_state_[gid] == VmState::kOrphaned) vms.push_back(gid);
+  return vms;
+}
+
+std::size_t Cluster::running_vm_count() const {
+  std::size_t n = 0;
+  for (const auto s : vm_state_)
+    if (s == VmState::kRunning) ++n;
+  return n;
+}
+
+std::size_t Cluster::lost_vm_count() const {
+  std::size_t n = 0;
+  for (const auto s : vm_state_)
+    if (s == VmState::kLost) ++n;
+  return n;
 }
 
 std::size_t Cluster::powered_on_count() const {
@@ -227,6 +380,11 @@ void Cluster::advance_hosts(common::SimTime target) {
 void Cluster::run_until(common::SimTime until) {
   if (!started_) {
     install_periodic_tasks();
+    // The fault schedule is armed once, here, onto the same queue the
+    // periodic tasks use: a fault lands at a fixed (time, insertion-seq)
+    // position, so any tie with a manager tick or SLA sample breaks the
+    // same way in every engine — faults never perturb determinism.
+    if (injector_) injector_->arm(*this, events_);
     started_ = true;
   }
   while (now_ < until) {

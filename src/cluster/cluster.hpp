@@ -38,6 +38,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -51,6 +52,10 @@
 #include "platform/host_class.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/periodic.hpp"
+
+namespace pas::fault {
+class FaultInjector;
+}  // namespace pas::fault
 
 namespace pas::cluster {
 
@@ -108,6 +113,28 @@ struct ClusterConfig {
   int agent_priority = 1;
 };
 
+/// Lifecycle of a cluster VM under faults. Healthy clusters only ever see
+/// kRunning; the other states exist because hosts can crash.
+enum class VmState : std::uint8_t {
+  kRunning = 0,
+  /// Its host crashed but the VM is restartable: the cluster holds its
+  /// workload off-host until the manager's recovery path places it (or
+  /// gives up and marks it lost).
+  kOrphaned,
+  /// Gone for good — crashed without restart, recovery abandoned, or lost
+  /// mid-migration (MigrationOutcome::kLostSourceCrash).
+  kLost,
+};
+
+/// One successful crash-recovery restart (for recovery-latency stats).
+struct VmRecovery {
+  GlobalVmId vm = 0;
+  common::SimTime crashed_at{};
+  common::SimTime restarted_at{};
+
+  [[nodiscard]] common::SimTime latency() const { return restarted_at - crashed_at; }
+};
+
 /// Per-VM totals aggregated across every host the VM touched.
 struct ClusterVmStats {
   common::SimTime total_busy{};
@@ -146,8 +173,53 @@ class Cluster {
   /// Flips a host's power state (VOVO). Powering off excludes the host's
   /// energy from the cluster total; the host keeps following the clock so
   /// power-on is instantaneous. Refuses (returns false) to power off a host
-  /// with resident VMs or an in-flight migration endpoint.
+  /// with running resident VMs or an in-flight migration endpoint, and to
+  /// power a crashed host back on.
   bool set_powered(HostId host, bool on);
+
+  // --- fault hooks (called by fault::FaultInjector events and tests) ---
+
+  /// Fails host `host` at the current instant. Ordering within the crash:
+  /// first every migration with the host as an endpoint aborts (so
+  /// destination-crash rollbacks land on a still-live source), then every
+  /// running resident is torn off the host — held as kOrphaned for the
+  /// manager's recovery path when `restart_orphans`, destroyed as kLost
+  /// otherwise — and finally the host powers off. Refuses (returns false)
+  /// to crash an already-crashed host or the last live one; a crashed host
+  /// keeps following the clock (idle, energy-gated off) so the fleet stays
+  /// lockstep.
+  bool crash_host(HostId host, bool restart_orphans);
+
+  /// Restarts an orphaned VM on live host `to` (the manager's recovery
+  /// path). The outage [crash, now] is SLA-charged as one fully violated
+  /// window; the VM resumes at its purchased credit (compensated for the
+  /// destination's P-state) with an empty credit balance — the crash burned
+  /// whatever balance the slot held. Returns false unless the VM is
+  /// orphaned and `to` is alive.
+  bool restart_vm(GlobalVmId vm, HostId to);
+
+  /// Abandons an orphaned VM (recovery retries exhausted): destroys the
+  /// held workload, state becomes kLost. SLA windows stop accruing at the
+  /// crash — a lost VM has no further accounting.
+  void mark_lost(GlobalVmId vm);
+
+  /// Aborts the in-flight migration of `vm` (see MigrationEngine::cancel).
+  /// Returns false if none is in flight.
+  bool abort_migration(GlobalVmId vm);
+
+  /// Aborts the longest-in-flight migration — the deterministic choice the
+  /// fault injector makes. Returns false if nothing is in flight.
+  bool abort_oldest_migration();
+
+  /// Changes the migration-link bandwidth now, re-planning in-flight
+  /// pre-copies (see MigrationEngine::set_link_bandwidth).
+  void set_link_bandwidth(double mb_per_s);
+  [[nodiscard]] double link_bandwidth() const { return engine_->config().link_mb_per_s; }
+
+  /// Installs the fault injector (optional). Must precede the first
+  /// run_until; the injector's schedule is armed onto the cluster event
+  /// queue when the run starts.
+  void install_faults(std::unique_ptr<fault::FaultInjector> injector);
 
   // --- accessors ---
   [[nodiscard]] common::SimTime now() const { return now_; }
@@ -177,9 +249,21 @@ class Cluster {
   /// attach completes).
   [[nodiscard]] HostId residence(GlobalVmId vm) const { return home_.at(vm); }
   [[nodiscard]] bool migrating(GlobalVmId vm) const { return engine_->in_flight(vm); }
+  [[nodiscard]] VmState vm_state(GlobalVmId vm) const { return vm_state_.at(vm); }
+  [[nodiscard]] bool crashed(HostId host) const { return crashed_.at(host) != 0; }
+  [[nodiscard]] std::size_t crashed_count() const;
+  /// VMs currently awaiting recovery, in ascending id order (the
+  /// deterministic order the manager's recovery pass walks).
+  [[nodiscard]] std::vector<GlobalVmId> orphaned_vms() const;
+  [[nodiscard]] std::size_t running_vm_count() const;
+  [[nodiscard]] std::size_t lost_vm_count() const;
+  [[nodiscard]] const std::vector<VmRecovery>& recoveries() const { return recoveries_; }
+  [[nodiscard]] ClusterManager* manager() { return manager_.get(); }
+  [[nodiscard]] const fault::FaultInjector* faults() const { return injector_.get(); }
   [[nodiscard]] bool powered_on(HostId host) const { return meter_.powered(host); }
   [[nodiscard]] std::size_t powered_on_count() const;
-  /// True if the host holds residents or an in-flight migration endpoint.
+  /// True if the host holds running residents or an in-flight migration
+  /// endpoint.
   [[nodiscard]] bool host_in_use(HostId host) const;
   [[nodiscard]] const MigrationEngine& engine() const { return *engine_; }
   [[nodiscard]] HypervisorAgent& agent(HostId host) { return *agents_.at(host); }
@@ -225,11 +309,18 @@ class Cluster {
 
   std::vector<ClusterVmConfig> vm_cfgs_;
   std::vector<HostId> home_;
+  std::vector<VmState> vm_state_;
+  /// Workload of each kOrphaned VM, held off-host until restart/abandon.
+  std::vector<std::unique_ptr<wl::Workload>> orphan_wl_;
+  std::vector<common::SimTime> orphan_since_;
+  std::vector<std::uint8_t> crashed_;
+  std::vector<VmRecovery> recoveries_;
 
   sim::EventQueue events_;
   std::vector<std::unique_ptr<sim::PeriodicTask>> tasks_;
   std::unique_ptr<MigrationEngine> engine_;
   std::unique_ptr<ClusterManager> manager_;
+  std::unique_ptr<fault::FaultInjector> injector_;
 
   metrics::ClusterEnergyMeter meter_;
   metrics::SlaChecker sla_;

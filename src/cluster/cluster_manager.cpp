@@ -1,5 +1,6 @@
 #include "cluster/cluster_manager.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -13,10 +14,88 @@ namespace pas::cluster {
 ClusterManager::ClusterManager(ClusterManagerConfig config) : cfg_(config) {
   if (cfg_.period.us() <= 0)
     throw std::invalid_argument("ClusterManager: period must be positive");
+  if (cfg_.restart_backoff.us() <= 0)
+    throw std::invalid_argument("ClusterManager: restart backoff must be positive");
 }
 
-void ClusterManager::on_tick(common::SimTime /*now*/, Cluster& cluster) {
+void ClusterManager::add_brownout(common::SimTime from, common::SimTime until) {
+  if (until <= from)
+    throw std::invalid_argument("ClusterManager: empty brownout window");
+  brownouts_.emplace_back(from, until);
+}
+
+void ClusterManager::recover_orphans(common::SimTime now, Cluster& cluster) {
+  for (const GlobalVmId vm : cluster.orphaned_vms()) {
+    RetryState& retry = retry_[vm];
+    if (now < retry.next_attempt) continue;
+
+    // First-fit over live hosts by *reservations* (memory + purchased
+    // credit of running residents), the same static inputs the planner
+    // packs by. Deliberate simplification: destinations of in-flight
+    // migrations are not reserved — an overshoot is corrected by the next
+    // consolidation pass, exactly like any other drift.
+    const ClusterVmConfig& vc = cluster.vm_config(vm);
+    std::vector<HostId> order;
+    for (HostId h = 0; h < cluster.host_count(); ++h)
+      if (!cluster.crashed(h)) order.push_back(h);
+    if (cfg_.efficient_first) {
+      std::stable_sort(order.begin(), order.end(), [&](HostId a, HostId b) {
+        return consolidation::packing_cost(platform::to_host_spec(cluster.host_class(a))) <
+               consolidation::packing_cost(platform::to_host_spec(cluster.host_class(b)));
+      });
+    }
+    HostId target = 0;
+    bool found = false;
+    for (const HostId h : order) {
+      double free_mem = cluster.host_memory_mb(h);
+      double free_cpu =
+          cluster.host_class(h).cpu_capacity_pct - cluster.config().agent_credit;
+      for (GlobalVmId other = 0; other < cluster.vm_count(); ++other) {
+        if (other == vm) continue;
+        if (cluster.vm_state(other) != VmState::kRunning) continue;
+        if (cluster.residence(other) != h) continue;
+        free_mem -= cluster.vm_config(other).memory_mb;
+        free_cpu -= cluster.vm_config(other).vm.credit;
+      }
+      if (vc.memory_mb <= free_mem && vc.vm.credit <= free_cpu) {
+        target = h;
+        found = true;
+        break;
+      }
+    }
+
+    if (found && cluster.restart_vm(vm, target)) {
+      ++restarts_issued_;
+      retry_.erase(vm);
+      continue;
+    }
+    ++retry.attempts;
+    if (retry.attempts >= cfg_.max_restart_attempts) {
+      cluster.mark_lost(vm);
+      ++restarts_abandoned_;
+      retry_.erase(vm);
+    } else {
+      // Exponential backoff: attempt k failing waits backoff·2^(k−1).
+      retry.next_attempt =
+          now + common::usec(cfg_.restart_backoff.us() << (retry.attempts - 1));
+    }
+  }
+}
+
+void ClusterManager::on_tick(common::SimTime now, Cluster& cluster) {
+  for (const auto& [from, until] : brownouts_) {
+    if (now >= from && now < until) {
+      // Browned out: the planner is simply absent this period. No partial
+      // work — the next live tick re-plans from the drifted state.
+      ++ticks_skipped_;
+      return;
+    }
+  }
   ++ticks_;
+
+  // Crash recovery runs before consolidation so a restarted VM is placed
+  // by reservation fit now and re-packed by the very plan computed below.
+  recover_orphans(now, cluster);
 
   if (cfg_.consolidate) {
     // Re-plan from scratch: FFD by memory with credit reservation, exactly
@@ -26,23 +105,31 @@ void ClusterManager::on_tick(common::SimTime /*now*/, Cluster& cluster) {
     // purchased credit, both static): SLAs must be honorable whatever the
     // demand does, and static inputs keep the plan stable between ticks.
     // Observed load enters below, in the DVFS step.
+    // Plan over the *live* fleet only: running VMs (orphaned/lost ones have
+    // no slot to pack) onto non-crashed hosts. Plan indices are therefore
+    // dense over the survivors — plan_vms/plan_hosts map them back.
     std::vector<consolidation::VmSpec> vms;
+    std::vector<GlobalVmId> plan_vms;
     vms.reserve(cluster.vm_count());
     for (GlobalVmId gid = 0; gid < cluster.vm_count(); ++gid) {
+      if (cluster.vm_state(gid) != VmState::kRunning) continue;
       const ClusterVmConfig& vc = cluster.vm_config(gid);
       consolidation::VmSpec spec;
       spec.name = vc.vm.name;
       spec.credit = vc.vm.credit;
       spec.memory_mb = vc.memory_mb;
       vms.push_back(std::move(spec));
+      plan_vms.push_back(gid);
     }
     // Host specs come from each host's *actual* platform class — ladder,
     // power model, memory and NUMA layout per machine, not one template —
     // so the plan sees the fleet the paper's Table 2 describes: machines
     // that differ.
     std::vector<consolidation::HostSpec> hosts;
+    std::vector<HostId> plan_hosts;
     hosts.reserve(cluster.host_count());
     for (HostId h = 0; h < cluster.host_count(); ++h) {
+      if (cluster.crashed(h)) continue;
       const platform::HostClass& cls = cluster.host_class(h);
       consolidation::HostSpec spec = platform::to_host_spec(cls);
       spec.name += "-" + std::to_string(h);
@@ -50,6 +137,7 @@ void ClusterManager::on_tick(common::SimTime /*now*/, Cluster& cluster) {
       // capacity, like Dom0 in the paper's single-host budget.
       spec.cpu_capacity_pct = cls.cpu_capacity_pct - cluster.config().agent_credit;
       hosts.push_back(std::move(spec));
+      plan_hosts.push_back(h);
     }
 
     consolidation::FfdOptions ffd;
@@ -60,12 +148,14 @@ void ClusterManager::on_tick(common::SimTime /*now*/, Cluster& cluster) {
     last_plan_unplaced_ = plan.unplaced;
 
     std::size_t budget = cfg_.max_migrations_per_tick;
-    for (GlobalVmId gid = 0; gid < cluster.vm_count() && budget > 0; ++gid) {
-      const std::size_t target = plan.assignment[gid];
+    for (std::size_t i = 0; i < plan_vms.size() && budget > 0; ++i) {
+      const GlobalVmId gid = plan_vms[i];
+      const std::size_t target = plan.assignment[i];
       if (target == consolidation::kUnplaced) continue;
       if (cluster.migrating(gid)) continue;
-      if (static_cast<HostId>(target) == cluster.residence(gid)) continue;
-      if (cluster.migrate(gid, static_cast<HostId>(target))) {
+      const HostId target_host = plan_hosts[target];
+      if (target_host == cluster.residence(gid)) continue;
+      if (cluster.migrate(gid, target_host)) {
         ++migrations_issued_;
         --budget;
       }
@@ -74,6 +164,7 @@ void ClusterManager::on_tick(common::SimTime /*now*/, Cluster& cluster) {
 
   if (cfg_.vovo) {
     for (HostId h = 0; h < cluster.host_count(); ++h) {
+      if (cluster.crashed(h)) continue;  // already off, and not revivable
       if (cluster.host_in_use(h))
         cluster.set_powered(h, true);
       else
@@ -86,6 +177,7 @@ void ClusterManager::on_tick(common::SimTime /*now*/, Cluster& cluster) {
 
 void ClusterManager::apply_dvfs(Cluster& cluster) {
   for (HostId h = 0; h < cluster.host_count(); ++h) {
+    if (cluster.crashed(h)) continue;  // nothing left to scale or re-cap
     hv::Host& host = cluster.host(h);
     const cpu::FrequencyLadder& ladder = host.cpu().ladder();
 
@@ -103,6 +195,7 @@ void ClusterManager::apply_dvfs(Cluster& cluster) {
     // purchased credit, so this also undoes stale compensation.)
     for (GlobalVmId gid = 0; gid < cluster.vm_count(); ++gid) {
       if (cluster.residence(gid) != h) continue;
+      if (cluster.vm_state(gid) != VmState::kRunning) continue;
       // A VM in its stop-and-copy pause has been drained from this slot
       // (cap 0, balance 0); re-capping it would mint credit into an empty
       // slot. The attach re-establishes the destination cap.

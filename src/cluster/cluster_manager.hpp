@@ -22,6 +22,8 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
+#include <vector>
 
 #include "cluster/cluster.hpp"
 #include "common/units.hpp"
@@ -53,6 +55,12 @@ struct ClusterManagerConfig {
   /// mixed fleet gives the naive index-order baseline the cluster bench
   /// prices the feature against.
   bool efficient_first = true;
+  /// Crash recovery: how often to retry restarting an orphaned VM before
+  /// abandoning it as lost. Attempt k (1-based) failing schedules the next
+  /// try backoff·2^(k−1) later — exponential backoff, evaluated at tick
+  /// granularity (a retry due mid-period waits for the next tick).
+  std::size_t max_restart_attempts = 5;
+  common::SimTime restart_backoff = common::seconds(20);
 };
 
 class ClusterManager {
@@ -65,19 +73,42 @@ class ClusterManager {
   /// One reconfiguration pass; invoked by the Cluster on its event queue.
   void on_tick(common::SimTime now, Cluster& cluster);
 
+  /// Declares a planner brownout: every tick with from ≤ now < until is
+  /// skipped outright (counted in ticks_skipped()), and the first tick
+  /// after the window re-plans from whatever state the fleet drifted into
+  /// — the graceful-recovery property the chaos tests pin. Callable any
+  /// time (the fault injector calls it at arm time).
+  void add_brownout(common::SimTime from, common::SimTime until);
+
   // --- diagnostics ---
   [[nodiscard]] std::size_t ticks() const { return ticks_; }
+  [[nodiscard]] std::size_t ticks_skipped() const { return ticks_skipped_; }
   [[nodiscard]] std::size_t migrations_issued() const { return migrations_issued_; }
+  /// Crash-recovery restarts issued / orphans abandoned after
+  /// max_restart_attempts failures.
+  [[nodiscard]] std::size_t restarts_issued() const { return restarts_issued_; }
+  [[nodiscard]] std::size_t restarts_abandoned() const { return restarts_abandoned_; }
   /// VMs the *last* plan could not place (left resident where they were —
   /// the explicit-unplaced contract of consolidation::place_ffd).
   [[nodiscard]] std::size_t last_plan_unplaced() const { return last_plan_unplaced_; }
 
  private:
+  void recover_orphans(common::SimTime now, Cluster& cluster);
   void apply_dvfs(Cluster& cluster);
 
+  struct RetryState {
+    std::size_t attempts = 0;
+    common::SimTime next_attempt{};  // earliest tick allowed to retry
+  };
+
   ClusterManagerConfig cfg_;
+  std::vector<std::pair<common::SimTime, common::SimTime>> brownouts_;
+  std::map<GlobalVmId, RetryState> retry_;  // ordered: deterministic iteration
   std::size_t ticks_ = 0;
+  std::size_t ticks_skipped_ = 0;
   std::size_t migrations_issued_ = 0;
+  std::size_t restarts_issued_ = 0;
+  std::size_t restarts_abandoned_ = 0;
   std::size_t last_plan_unplaced_ = 0;
 };
 

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "core/compensation.hpp"
@@ -69,11 +70,20 @@ bool MigrationEngine::endpoint_in_flight(HostId host) const {
   });
 }
 
+std::vector<GlobalVmId> MigrationEngine::in_flight_vms() const {
+  std::vector<GlobalVmId> vms;
+  vms.reserve(flights_.size());
+  for (const auto& f : flights_) vms.push_back(f->record.vm);
+  return vms;
+}
+
 MigrationPlan MigrationEngine::begin(GlobalVmId vm, HostId from, HostId to,
                                      Endpoint source, Endpoint dest, double memory_mb,
                                      double dirty_mb_per_s, common::Percent credit_pct,
                                      common::SimTime now, CompletionFn done) {
-  if (in_flight(vm)) throw std::logic_error("MigrationEngine: VM already in flight");
+  if (in_flight(vm))
+    throw std::logic_error("MigrationEngine: VM " + std::to_string(vm) +
+                           " already in flight");
   if (source.host == nullptr || dest.host == nullptr)
     throw std::invalid_argument("MigrationEngine: endpoints required");
 
@@ -83,6 +93,8 @@ MigrationPlan MigrationEngine::begin(GlobalVmId vm, HostId from, HostId to,
   f->source = source;
   f->dest = dest;
   f->credit_pct = credit_pct;
+  f->memory_mb = memory_mb;
+  f->dirty_mb_per_s = dirty_mb_per_s;
   f->done = std::move(done);
   f->record.vm = vm;
   f->record.from = from;
@@ -93,26 +105,178 @@ MigrationPlan MigrationEngine::begin(GlobalVmId vm, HostId from, HostId to,
   f->record.rounds = f->plan.round_mb.size();
   f->record.transferred_mb = f->plan.transferred_mb();
   f->record.downtime = f->plan.downtime;
-  flights_.push_back(std::move(flight));
 
-  // Every phase event is scheduled up front: round-overhead injections at
-  // each round's start, the detach at the pause, the attach at completion.
-  // All of them land on the cluster queue, i.e. at instants where every
-  // host is synchronized — the lockstep invariant that keeps fast-path and
-  // reference runs identical.
   common::SimTime round_start = now;
-  for (std::size_t r = 0; r < f->plan.round_mb.size(); ++r) {
-    const double mb = f->plan.round_mb[r];
-    events_.schedule(round_start,
-                     [this, f, mb](common::SimTime) { inject_round(*f, mb); });
+  for (const double mb : f->plan.round_mb) {
+    f->round_starts.push_back(round_start);
     round_start += transfer_time(mb, cfg_.link_mb_per_s);
   }
-  events_.schedule(f->record.stop, [this, f](common::SimTime) {
+  flights_.push_back(std::move(flight));
+  schedule_phase_events(*f, 0);
+  return f->plan;
+}
+
+void MigrationEngine::schedule_phase_events(Flight& flight, std::size_t first_round) {
+  // Every phase event lands on the cluster queue, i.e. at instants where
+  // every host is synchronized — the lockstep invariant that keeps
+  // fast-path and reference runs identical. Ids are kept so an abort or a
+  // bandwidth re-plan can cancel exactly the not-yet-fired tail.
+  Flight* f = &flight;
+  assert(flight.round_starts.size() == flight.plan.round_mb.size());
+  flight.round_events.resize(flight.plan.round_mb.size(), sim::kInvalidEvent);
+  for (std::size_t r = first_round; r < flight.plan.round_mb.size(); ++r) {
+    flight.round_events[r] =
+        events_.schedule(flight.round_starts[r], [this, f, r](common::SimTime) {
+          f->rounds_fired = r + 1;
+          inject_round(*f, f->plan.round_mb[r]);
+        });
+  }
+  flight.stop_event = events_.schedule(flight.record.stop, [this, f](common::SimTime) {
     if (f->plan.stop_copy_mb > 0.0) inject_round(*f, f->plan.stop_copy_mb);
     detach(*f);
   });
-  events_.schedule(f->record.end, [this, f](common::SimTime) { attach(*f); });
-  return f->plan;
+  flight.end_event =
+      events_.schedule(flight.record.end, [this, f](common::SimTime) { attach(*f); });
+}
+
+void MigrationEngine::cancel_pending_events(Flight& flight) {
+  for (std::size_t r = flight.rounds_fired; r < flight.round_events.size(); ++r)
+    events_.cancel(flight.round_events[r]);
+  // These return false when the phase already fired (e.g. the stop event of
+  // a paused flight) — exactly the don't-care case.
+  events_.cancel(flight.stop_event);
+  events_.cancel(flight.end_event);
+}
+
+bool MigrationEngine::cancel(GlobalVmId vm, common::SimTime now) {
+  const auto it = std::find_if(flights_.begin(), flights_.end(),
+                               [vm](const auto& f) { return f->record.vm == vm; });
+  if (it == flights_.end()) return false;
+  Flight& f = **it;
+  cancel_pending_events(f);
+  if (f.held == nullptr) {
+    // Pre-copy abort: the guest never stopped running on the source; no
+    // credit moved. Rounds already issued keep their injected overhead —
+    // overhead is charged at round start, when the push begins — so the
+    // record reports exactly the bytes whose push was started.
+    f.record.outcome = MigrationOutcome::kAbortedPrecopy;
+    f.record.stop = now;
+    f.record.end = now;
+    f.record.downtime = common::SimTime{};
+    f.record.rounds = f.rounds_fired;
+    double mb = 0.0;
+    for (std::size_t r = 0; r < f.rounds_fired; ++r) mb += f.plan.round_mb[r];
+    f.record.transferred_mb = mb;
+  } else {
+    // Stop-and-copy abort: roll the guest back onto its source slot. The
+    // rollback is modeled as instantaneous (the guest state never left the
+    // source; "switching back" is dropping the in-flight copy), so the
+    // pause the VM actually suffered is now − stop. The exported balance
+    // re-imports on the source — conservation holds exactly as on the
+    // completed path, just into the original slot — and the cap comes back
+    // compensated for the source's *current* P-state, which may have
+    // changed since detach.
+    hv::Host& src = *f.source.host;
+    (void)src.swap_workload(f.source.vm_slot, std::move(f.held));
+    src.scheduler().set_cap(f.source.vm_slot,
+                            core::compensated_credit(f.credit_pct, src.cpu().ladder(),
+                                                     src.cpu().current_index()));
+    src.scheduler().import_credit(f.source.vm_slot, f.record.credit_exported);
+    f.record.credit_imported = f.record.credit_exported;
+    f.record.outcome = MigrationOutcome::kAbortedStopCopy;
+    f.record.end = now;
+    f.record.downtime = now - f.record.stop;
+  }
+  finish(f);
+  return true;
+}
+
+std::size_t MigrationEngine::abort_host_flights(HostId host, common::SimTime now) {
+  std::size_t aborted = 0;
+  for (;;) {
+    const auto it = std::find_if(flights_.begin(), flights_.end(), [host](const auto& f) {
+      return f->record.from == host || f->record.to == host;
+    });
+    if (it == flights_.end()) break;
+    Flight& f = **it;
+    if (f.record.from == host && f.held != nullptr) {
+      // Source crashed while the guest was detached: its state existed only
+      // in transit and is gone. The exported credit is gone with it — the
+      // crash, not the engine, broke conservation, and the record's
+      // imported == 0 says so.
+      cancel_pending_events(f);
+      f.held.reset();
+      f.record.outcome = MigrationOutcome::kLostSourceCrash;
+      f.record.end = now;
+      f.record.downtime = now - f.record.stop;
+      finish(f);
+    } else {
+      // Destination crash (any phase) or source crash during pre-copy:
+      // the ordinary abort paths apply — the guest is on the source (or
+      // rolls back to it), and the caller's crash sweep decides its fate.
+      cancel(f.record.vm, now);
+    }
+    ++aborted;
+  }
+  return aborted;
+}
+
+void MigrationEngine::set_link_bandwidth(double mb_per_s, common::SimTime now) {
+  if (mb_per_s <= 0.0)
+    throw std::invalid_argument("MigrationEngine: link bandwidth must be positive");
+  cfg_.link_mb_per_s = mb_per_s;
+  // Paused flights are not re-planned: their residue push is committed.
+  for (const auto& f : flights_)
+    if (f->held == nullptr) replan_flight(*f, now);
+}
+
+void MigrationEngine::replan_flight(Flight& flight, common::SimTime now) {
+  (void)now;
+  // Committed-round rule: rounds whose push already started complete on
+  // their old schedule (the bytes are already windowed on the wire), so the
+  // re-plan keeps rounds [0, rounds_fired) verbatim and re-runs the
+  // pre-copy recurrence from the redirtied set that feeds the next round.
+  const std::size_t keep = flight.rounds_fired;
+  // The set feeding round `keep` was dirtied during round keep−1, which
+  // runs at its committed (old-rate) schedule — so its planned size stands.
+  const double seed_pending = keep < flight.plan.round_mb.size()
+                                  ? flight.plan.round_mb[keep]
+                                  : flight.plan.stop_copy_mb;
+  const common::SimTime seed_time =
+      keep < flight.round_starts.size() ? flight.round_starts[keep] : flight.record.stop;
+
+  cancel_pending_events(flight);
+  flight.plan.round_mb.resize(keep);
+  flight.round_starts.resize(keep);
+  flight.round_events.resize(keep);
+
+  double pending = seed_pending;
+  common::SimTime t = seed_time;
+  const std::size_t budget = std::max<std::size_t>(cfg_.max_precopy_rounds, 1);
+  // Mirrors plan_migration: the first round is unconditional (round 0 pushes
+  // the full image even when memory ≤ threshold); later rounds run only
+  // while the redirtied set stays above the stop-copy threshold.
+  bool unconditional = keep == 0;
+  while (flight.plan.round_mb.size() < budget &&
+         (unconditional || pending > cfg_.stop_copy_threshold_mb)) {
+    unconditional = false;
+    flight.plan.round_mb.push_back(pending);
+    flight.round_starts.push_back(t);
+    const common::SimTime dt = transfer_time(pending, cfg_.link_mb_per_s);
+    t += dt;
+    pending = std::min(flight.memory_mb, flight.dirty_mb_per_s * dt.sec());
+  }
+  flight.plan.stop_copy_mb = pending;
+  flight.plan.precopy_duration = t - flight.record.start;
+  flight.plan.downtime =
+      (pending > 0.0 ? transfer_time(pending, cfg_.link_mb_per_s) : common::SimTime{}) +
+      cfg_.switch_latency;
+  flight.record.stop = t;
+  flight.record.end = t + flight.plan.downtime;
+  flight.record.downtime = flight.plan.downtime;
+  flight.record.rounds = flight.plan.round_mb.size();
+  flight.record.transferred_mb = flight.plan.transferred_mb();
+  schedule_phase_events(flight, keep);
 }
 
 void MigrationEngine::inject_round(Flight& flight, double mb) {
@@ -133,6 +297,8 @@ void MigrationEngine::detach(Flight& flight) {
   // nothing, which is also why the pause is SLA-charged).
   src.scheduler().set_cap(flight.source.vm_slot, 0.0);
   src.scheduler().import_credit(flight.source.vm_slot, common::SimTime{});
+  assert(flight.held != nullptr);
+  assert(endpoint_in_flight(flight.record.from) && endpoint_in_flight(flight.record.to));
 }
 
 void MigrationEngine::attach(Flight& flight) {
@@ -148,13 +314,18 @@ void MigrationEngine::attach(Flight& flight) {
                                                    dst.cpu().current_index()));
   dst.scheduler().import_credit(flight.dest.vm_slot, flight.record.credit_exported);
   flight.record.credit_imported = flight.record.credit_exported;
+  flight.record.outcome = MigrationOutcome::kCompleted;
+  finish(flight);
+}
 
+void MigrationEngine::finish(Flight& flight) {
   const MigrationRecord record = flight.record;
   CompletionFn done = std::move(flight.done);
   const auto it = std::find_if(flights_.begin(), flights_.end(),
                                [&](const auto& f) { return f.get() == &flight; });
   assert(it != flights_.end());
   flights_.erase(it);
+  assert(!in_flight(record.vm));
   completed_.push_back(record);
   if (done) done(record);
 }

@@ -14,9 +14,36 @@
 // — is the SLA-visible cost; the per-round CPU charges on both hypervisor
 // agents are the energy-visible cost.
 //
-// Everything here is a pure function of the inputs, so a migration's event
-// times are identical across fast-path and reference runs — the property
-// the cluster differential tests pin down.
+// Failure semantics (the fault-injection subsystem's contract, see
+// docs/ARCHITECTURE.md "Faults & recovery"):
+//
+//   * cancel() mid-pre-copy abandons the flight where it stands: rounds
+//     already issued keep their injected overhead (the bytes were pushed),
+//     unfired phase events are cancelled, and the guest — which never
+//     stopped running on the source — is untouched. No credit ever left
+//     the source, so the record carries exported == imported == 0.
+//   * cancel() during the stop-and-copy pause rolls the guest back: the
+//     held workload re-attaches to the SOURCE slot, the exported balance
+//     is imported back there (exported == imported, the same conservation
+//     contract as a completed flight), and the cap is re-established
+//     compensated for the source's current P-state. The pause actually
+//     experienced (cancel time − stop) is the record's downtime.
+//   * A source-host crash during the pause is the one unrecoverable case:
+//     the guest state exists only in transit, so the workload is destroyed
+//     and the record marks the loss (imported == 0 — the crash, not the
+//     engine, broke conservation, and the record says so).
+//
+//   * set_link_bandwidth() mid-flight re-plans every in-flight migration's
+//     REMAINING rounds at the new rate: the round currently on the wire
+//     completes on its committed schedule (its bytes are already windowed),
+//     and the pre-copy loop is re-run from the next redirtied set with the
+//     remaining round budget. A flight already in its pause is not
+//     re-planned — the residue push has started.
+//
+// Everything here is a pure function of the inputs — fault events included,
+// since those arrive as ordinary (deterministically ordered) cluster events
+// — so a migration's event times are identical across fast-path, reference
+// and parallel runs: the property the cluster differential tests pin down.
 #pragma once
 
 #include <cstdint>
@@ -76,20 +103,42 @@ struct MigrationPlan {
 [[nodiscard]] MigrationPlan plan_migration(double memory_mb, double dirty_mb_per_s,
                                            const MigrationConfig& config);
 
+/// How a migration ended. Everything except kCompleted is an abort path;
+/// only kLostSourceCrash loses the guest.
+enum class MigrationOutcome : std::uint8_t {
+  kCompleted = 0,
+  /// Cancelled before the stop-and-copy pause: the guest never stopped
+  /// running on the source. No credit moved (exported == imported == 0).
+  kAbortedPrecopy,
+  /// Cancelled during the pause: the guest rolled back to the source with
+  /// its credit balance re-imported there (exported == imported).
+  kAbortedStopCopy,
+  /// The source host crashed during the pause: the guest state existed
+  /// only in transit and is gone (imported == 0).
+  kLostSourceCrash,
+};
+
 struct MigrationRecord {
   GlobalVmId vm = 0;
   HostId from = 0;
   HostId to = 0;
   common::SimTime start{};      // pre-copy begins
   common::SimTime stop{};       // stop-and-copy pause begins (detach)
-  common::SimTime end{};        // execution resumes on the destination
-  std::size_t rounds = 0;
-  double transferred_mb = 0.0;
+  common::SimTime end{};        // execution resumes (destination, or source on rollback)
+  std::size_t rounds = 0;       // pre-copy rounds actually issued
+  double transferred_mb = 0.0;  // bytes actually pushed (issued rounds + residue)
+  /// Pause actually experienced: the planned pause when completed, the
+  /// truncated pause (end − stop) on a stop-and-copy abort, zero on a
+  /// pre-copy abort.
   common::SimTime downtime{};
+  MigrationOutcome outcome = MigrationOutcome::kCompleted;
   /// Credit balance carried across: export on the source == import on the
-  /// destination (the conservation contract).
+  /// destination — or back into the source on a rollback (the conservation
+  /// contract). Only a source crash leaves imported == 0 < exported.
   common::SimTime credit_exported{};
   common::SimTime credit_imported{};
+
+  [[nodiscard]] bool aborted() const { return outcome != MigrationOutcome::kCompleted; }
 };
 
 /// Drives migrations over the cluster's event queue: injects per-round
@@ -113,11 +162,33 @@ class MigrationEngine {
 
   /// Starts a live migration at `now`. Schedules every phase event up
   /// front; `done` fires at attach time, after the guest is runnable on the
-  /// destination. Returns the plan by value (the engine's own copy dies
-  /// with the flight at attach time). Precondition: !in_flight(vm).
+  /// destination — or at cancel time with the record's abort outcome.
+  /// Returns the plan by value (the engine's own copy dies with the flight
+  /// at attach time). Precondition: !in_flight(vm) — violating it throws
+  /// std::logic_error naming the VM.
   MigrationPlan begin(GlobalVmId vm, HostId from, HostId to, Endpoint source,
                       Endpoint dest, double memory_mb, double dirty_mb_per_s,
                       common::Percent credit_pct, common::SimTime now, CompletionFn done);
+
+  /// Aborts the in-flight migration of `vm` at `now` (see the file header
+  /// for the two abort paths). Returns false if the VM is not in flight.
+  /// The completion callback fires with the aborted record.
+  bool cancel(GlobalVmId vm, common::SimTime now);
+
+  /// Aborts every flight with `host` as an endpoint — the crash path. A
+  /// destination crash rolls the guest back to the source; a source crash
+  /// during the pause loses the guest (kLostSourceCrash). A source crash
+  /// during pre-copy aborts like cancel(): the guest is still resident on
+  /// the (now dead) source, and the caller's crash sweep decides its fate.
+  /// Returns the number of flights aborted.
+  std::size_t abort_host_flights(HostId host, common::SimTime now);
+
+  /// Changes the migration-link bandwidth at `now` and re-plans the
+  /// remaining rounds of every in-flight pre-copy at the new rate (the
+  /// round on the wire completes on its committed schedule; a flight in
+  /// its pause is untouched). Throws std::invalid_argument on a
+  /// non-positive rate.
+  void set_link_bandwidth(double mb_per_s, common::SimTime now);
 
   [[nodiscard]] bool in_flight(GlobalVmId vm) const;
   /// True from the stop-and-copy pause until attach (the guest exists on
@@ -126,6 +197,9 @@ class MigrationEngine {
   /// True if any in-flight migration has `host` as source or destination.
   [[nodiscard]] bool endpoint_in_flight(HostId host) const;
   [[nodiscard]] std::size_t active_count() const { return flights_.size(); }
+  /// In-flight VM ids in flight-start order (the deterministic "oldest
+  /// first" order fault injection aborts in).
+  [[nodiscard]] std::vector<GlobalVmId> in_flight_vms() const;
   [[nodiscard]] const std::vector<MigrationRecord>& completed() const { return completed_; }
   [[nodiscard]] const MigrationConfig& config() const { return cfg_; }
 
@@ -136,13 +210,31 @@ class MigrationEngine {
     Endpoint source;
     Endpoint dest;
     common::Percent credit_pct = 0.0;
+    double memory_mb = 0.0;
+    double dirty_mb_per_s = 0.0;
     std::unique_ptr<wl::Workload> held;  // guest state during the pause
     CompletionFn done;
+    // Re-planning/cancel bookkeeping: per-round scheduled start instants,
+    // the matching event ids, and how many round events have fired.
+    std::vector<common::SimTime> round_starts;
+    std::vector<sim::EventId> round_events;
+    std::size_t rounds_fired = 0;
+    sim::EventId stop_event = sim::kInvalidEvent;
+    sim::EventId end_event = sim::kInvalidEvent;
   };
 
   void inject_round(Flight& flight, double mb);
   void detach(Flight& flight);
   void attach(Flight& flight);
+  /// Schedules round events from index `first_round` plus the stop/attach
+  /// events, recording their ids on the flight.
+  void schedule_phase_events(Flight& flight, std::size_t first_round);
+  /// Cancels every not-yet-fired event of the flight.
+  void cancel_pending_events(Flight& flight);
+  /// Recomputes the flight's remaining rounds at the current bandwidth.
+  void replan_flight(Flight& flight, common::SimTime now);
+  /// Removes the flight, records it, and fires the completion callback.
+  void finish(Flight& flight);
 
   MigrationConfig cfg_;
   sim::EventQueue& events_;

@@ -73,4 +73,18 @@ bool Rng::chance(double p) { return next_double() < p; }
 
 Rng Rng::split() { return Rng{next_u64()}; }
 
+Rng substream(std::uint64_t seed, std::string_view tag) {
+  // FNV-1a 64 over the tag bytes: simple, cross-platform deterministic,
+  // and good enough dispersion once pushed through the seeder's splitmix64
+  // expansion. The seed is mixed through one splitmix64 step first so
+  // (seed, tag) and (seed', tag') collide only if the hash does.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : tag) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  std::uint64_t sm = seed;
+  return Rng{splitmix64(sm) ^ h};
+}
+
 }  // namespace pas::common

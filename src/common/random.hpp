@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 namespace pas::common {
 
@@ -46,5 +47,16 @@ class Rng {
  private:
   std::uint64_t s_[4];
 };
+
+/// Derives a named independent stream from (seed, tag) without touching any
+/// other generator: substream(s, "chaos") and substream(s, "fleet") never
+/// share state, and drawing from one cannot perturb the other or Rng{s}
+/// itself. This is the prefix-preservation tool the scenario generators
+/// rely on — a new feature draws from its own named stream, so every
+/// historical (seed → scenario) mapping stays byte-identical. The
+/// derivation (splitmix64 of the seed, xored with an FNV-1a hash of the
+/// tag) is fixed: changing it would silently rename every seeded
+/// experiment, and random_test pins golden values against that.
+[[nodiscard]] Rng substream(std::uint64_t seed, std::string_view tag);
 
 }  // namespace pas::common

@@ -13,6 +13,22 @@
 
 namespace pas::scenario {
 
+namespace {
+
+/// Manager + chaos install, shared by both workload presets. Chaos is
+/// strictly additive: chaos_seed == 0 installs nothing, so every
+/// historical (seed → scenario) mapping stays byte-identical.
+void finish_cluster(cluster::Cluster& cluster, const HostingClusterConfig& config) {
+  if (config.install_manager)
+    cluster.install_manager(std::make_unique<cluster::ClusterManager>(config.manager));
+  if (config.chaos_seed != 0) {
+    cluster.install_faults(std::make_unique<fault::FaultInjector>(fault::draw_fault_plan(
+        config.chaos, config.chaos_seed, config.hosts, config.horizon)));
+  }
+}
+
+}  // namespace
+
 std::unique_ptr<cluster::Cluster> build_hosting_cluster(const HostingClusterConfig& config) {
   cluster::ClusterConfig cc;
   cc.host.trace_stride = config.trace_stride;
@@ -56,8 +72,7 @@ std::unique_ptr<cluster::Cluster> build_hosting_cluster(const HostingClusterConf
       cluster->add_vm(vc, std::make_unique<wl::TraceReplay>(trace),
                       static_cast<cluster::HostId>(i % hosts));
     }
-    if (config.install_manager)
-      cluster->install_manager(std::make_unique<cluster::ClusterManager>(config.manager));
+    finish_cluster(*cluster, config);
     return cluster;
   }
 
@@ -109,8 +124,7 @@ std::unique_ptr<cluster::Cluster> build_hosting_cluster(const HostingClusterConf
     cluster->add_vm(std::move(vc), std::move(workload), home);
   }
 
-  if (config.install_manager)
-    cluster->install_manager(std::make_unique<cluster::ClusterManager>(config.manager));
+  finish_cluster(*cluster, config);
   return cluster;
 }
 

@@ -18,6 +18,7 @@
 #include "cluster/cluster.hpp"
 #include "cluster/cluster_manager.hpp"
 #include "common/units.hpp"
+#include "fault/fault.hpp"
 #include "platform/host_class.hpp"
 #include "workload/trace_replay.hpp"
 
@@ -77,6 +78,13 @@ struct HostingClusterConfig {
   /// baseline (no consolidation, no DVFS).
   cluster::ClusterManagerConfig manager;
   bool install_manager = true;
+  /// Chaos: 0 = no faults (every historical seed reproduces byte-
+  /// identically). Non-zero draws a fault schedule from
+  /// fault::draw_fault_plan(chaos, chaos_seed, hosts, horizon) — a
+  /// dedicated substream-derived RNG, so the scenario's own draws
+  /// (workloads, fleet, traces) are untouched by any chaos_seed value.
+  std::uint64_t chaos_seed = 0;
+  fault::FaultConfig chaos;
 
   [[nodiscard]] static platform::HostClass default_uniform_class() {
     platform::HostClass c;

@@ -67,6 +67,11 @@ struct ScriptedMove {
 struct ScenarioSpec {
   std::size_t hosts = 2;
   int sched = 0;  // 0 credit, 1 credit2, 2 sedf
+  /// Migration model knobs (defaults = the production config). Never drawn
+  /// by draw_scenario — historical seeds are untouched — but the chaos
+  /// suite overrides the link bandwidth downward so migrations stay in
+  /// flight long enough for injected faults to catch them mid-phase.
+  MigrationConfig migration;
   common::SimTime horizon{};
   common::SimTime trace_stride{};
   common::SimTime monitor_window{};
@@ -189,6 +194,7 @@ inline std::unique_ptr<Cluster> build_cluster(const ScenarioSpec& s, bool fast_p
   cc.host.monitor_window = s.monitor_window;
   cc.host.event_driven_fast_path = fast_path;
   cc.execution.threads = threads;
+  cc.migration = s.migration;
   cc.make_scheduler = [kind = s.sched]() -> std::unique_ptr<hv::Scheduler> {
     switch (kind) {
       case 1: return std::make_unique<sched::Credit2Scheduler>();
@@ -312,10 +318,23 @@ inline void expect_identical(Cluster& a, Cluster& b, std::uint64_t seed,
     ASSERT_EQ(ma[i].end, mb[i].end) << ctx << " migration " << i;
     ASSERT_EQ(ma[i].rounds, mb[i].rounds) << ctx << " migration " << i;
     ASSERT_EQ(ma[i].transferred_mb, mb[i].transferred_mb) << ctx << " migration " << i;
+    ASSERT_EQ(ma[i].downtime, mb[i].downtime) << ctx << " migration " << i;
+    ASSERT_EQ(ma[i].outcome, mb[i].outcome) << ctx << " migration " << i;
     ASSERT_EQ(ma[i].credit_exported, mb[i].credit_exported) << ctx << " migration " << i;
     ASSERT_EQ(ma[i].credit_imported, mb[i].credit_imported) << ctx << " migration " << i;
   }
+  // Fault-path observables: crash states, VM lifecycle and recovery events
+  // must replay identically too (all zero/empty in fault-free scenarios).
+  const auto& ra = a.recoveries();
+  const auto& rb = b.recoveries();
+  ASSERT_EQ(ra.size(), rb.size()) << ctx;
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    ASSERT_EQ(ra[i].vm, rb[i].vm) << ctx << " recovery " << i;
+    ASSERT_EQ(ra[i].crashed_at, rb[i].crashed_at) << ctx << " recovery " << i;
+    ASSERT_EQ(ra[i].restarted_at, rb[i].restarted_at) << ctx << " recovery " << i;
+  }
   for (GlobalVmId gid = 0; gid < a.vm_count(); ++gid) {
+    ASSERT_EQ(a.vm_state(gid), b.vm_state(gid)) << ctx << " vm " << gid;
     ASSERT_EQ(a.residence(gid), b.residence(gid)) << ctx << " vm " << gid;
     ASSERT_EQ(a.sla().violation_time(gid), b.sla().violation_time(gid))
         << ctx << " vm " << gid;
@@ -324,8 +343,10 @@ inline void expect_identical(Cluster& a, Cluster& b, std::uint64_t seed,
     ASSERT_EQ(a.vm_stats(gid).downtime, b.vm_stats(gid).downtime)
         << ctx << " vm " << gid;
   }
-  for (HostId h = 0; h < a.host_count(); ++h)
+  for (HostId h = 0; h < a.host_count(); ++h) {
     ASSERT_EQ(a.powered_on(h), b.powered_on(h)) << ctx << " host " << h;
+    ASSERT_EQ(a.crashed(h), b.crashed(h)) << ctx << " host " << h;
+  }
   ASSERT_NEAR(a.energy_joules(), b.energy_joules(), 1e-9 * (a.energy_joules() + 1.0))
       << ctx;
 }

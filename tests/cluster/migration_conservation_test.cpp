@@ -6,11 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 
 #include "cluster/cluster.hpp"
 #include "cluster/cluster_manager.hpp"
 #include "cluster/migration.hpp"
 #include "core/compensation.hpp"
+#include "platform/host_class.hpp"
 #include "sched/credit_scheduler.hpp"
 #include "workload/synthetic.hpp"
 #include "workload/web_app.hpp"
@@ -67,6 +69,41 @@ TEST(MigrationPlanTest, NonConvergentGuestHitsRoundBudget) {
   // The residue is the whole memory: downtime is a full-memory push.
   EXPECT_NEAR(plan.stop_copy_mb, 1024.0, 1e-9);
   EXPECT_EQ(plan.downtime, common::usec(1'024'000) + cfg.switch_latency);
+}
+
+TEST(MigrationPlanTest, DirtyRateAtLinkBandwidthNeverShrinks) {
+  MigrationConfig cfg;
+  // Exactly at the link rate: every round redirties exactly what it pushed,
+  // so rounds never shrink and the budget is the only thing that stops the
+  // loop — the boundary case between convergent and non-convergent guests.
+  const MigrationPlan plan = plan_migration(1024.0, cfg.link_mb_per_s, cfg);
+  ASSERT_EQ(plan.round_mb.size(), cfg.max_precopy_rounds);
+  for (const double mb : plan.round_mb) EXPECT_DOUBLE_EQ(mb, 1024.0);
+  EXPECT_NEAR(plan.stop_copy_mb, 1024.0, 1e-9);
+}
+
+TEST(MigrationPlanTest, ZeroDirtyRateHasSwitchOnlyDowntime) {
+  MigrationConfig cfg;
+  // An idle guest redirties nothing: one full-memory round, an empty
+  // residue, and a pause that is pure switch latency (the zero-residue
+  // branch must not charge a minimum transfer quantum).
+  const MigrationPlan plan = plan_migration(512.0, 0.0, cfg);
+  ASSERT_EQ(plan.round_mb.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.stop_copy_mb, 0.0);
+  EXPECT_EQ(plan.downtime, cfg.switch_latency);
+  EXPECT_DOUBLE_EQ(plan.transferred_mb(), 512.0);
+}
+
+TEST(MigrationPlanTest, ThresholdAboveMemoryStillPushesFirstRound) {
+  MigrationConfig cfg;
+  cfg.stop_copy_threshold_mb = 2048.0;  // larger than the guest itself
+  // Round 0 is unconditional — pre-copy always ships the full image once —
+  // and the redirtied set then trivially clears the oversized threshold.
+  const MigrationPlan plan = plan_migration(512.0, 100.0, cfg);
+  ASSERT_EQ(plan.round_mb.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.round_mb[0], 512.0);
+  EXPECT_NEAR(plan.stop_copy_mb, 51.2, 1e-9);
+  EXPECT_EQ(plan.downtime, common::usec(51'200) + cfg.switch_latency);
 }
 
 TEST(MigrationPlanTest, RejectsBadInputs) {
@@ -298,6 +335,302 @@ TEST(MigrationConservationTest, OpenLoopArrivalsSurviveTheMove) {
   // counter; equality holds up to floating-point associativity.
   EXPECT_NEAR(cluster.vm_stats(vm).total_work.mfus(), web_ptr->work_served().mfus(),
               1e-9 * web_ptr->work_served().mfus());
+}
+
+TEST(MigrationEngineTest, BeginRefusesDoubleFlightNamingTheVm) {
+  // Engine-level precondition (the cluster's migrate() refuses politely
+  // before ever reaching it): a second begin() for an in-flight VM is a
+  // programming error, and the exception names the culprit.
+  Cluster cluster{two_host_config()};
+  const GlobalVmId vm =
+      cluster.add_vm(hog_vm("hog", 10.0, 256.0), std::make_unique<wl::IdleGuest>(), 0);
+  sim::EventQueue queue;
+  MigrationEngine engine{MigrationConfig{}, queue};
+  const MigrationEngine::Endpoint src{&cluster.host(0), Cluster::slot(vm),
+                                      &cluster.agent(0), 0};
+  const MigrationEngine::Endpoint dst{&cluster.host(1), Cluster::slot(vm),
+                                      &cluster.agent(1), 0};
+  const auto noop = [](const MigrationRecord&) {};
+  (void)engine.begin(vm, 0, 1, src, dst, 256.0, 10.0, 10.0, SimTime{}, noop);
+  try {
+    (void)engine.begin(vm, 0, 1, src, dst, 256.0, 10.0, 10.0, SimTime{}, noop);
+    FAIL() << "double begin must throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("VM " + std::to_string(vm)), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MigrationFaultTest, AbortMidPrecopyRollsBackCleanly) {
+  Cluster cluster{two_host_config()};
+  const GlobalVmId vm =
+      cluster.add_vm(hog_vm("hog", 20.0, 512.0), std::make_unique<wl::BusyLoop>(), 0);
+  const common::VmId s = Cluster::slot(vm);
+
+  cluster.run_until(seconds(5));
+  ASSERT_TRUE(cluster.migrate(vm, 1));
+  // 512 MB at 1000 MB/s: round 0 runs until t = 5.512 s. Abort inside it.
+  cluster.run_until(seconds(5) + msec(200));
+  ASSERT_TRUE(cluster.abort_migration(vm));
+  EXPECT_FALSE(cluster.migrating(vm));
+  EXPECT_FALSE(cluster.abort_migration(vm)) << "nothing left to abort";
+
+  ASSERT_EQ(cluster.migrations().size(), 1u);
+  const MigrationRecord& rec = cluster.migrations().front();
+  EXPECT_EQ(rec.outcome, MigrationOutcome::kAbortedPrecopy);
+  EXPECT_TRUE(rec.aborted());
+  EXPECT_EQ(rec.end, seconds(5) + msec(200));
+  EXPECT_EQ(rec.downtime, SimTime{});
+  // The guest never stopped; no credit ever moved.
+  EXPECT_EQ(rec.credit_exported, SimTime{});
+  EXPECT_EQ(rec.credit_imported, SimTime{});
+  // Round 0 was already on the wire: its bytes (and agent overhead) stand.
+  EXPECT_EQ(rec.rounds, 1u);
+  EXPECT_DOUBLE_EQ(rec.transferred_mb, 512.0);
+  EXPECT_EQ(cluster.residence(vm), 0u);
+  EXPECT_EQ(cluster.vm_state(vm), VmState::kRunning);
+  // No pause happened, so no SLA charge beyond the guest's own behavior —
+  // and crucially the VM is still migratable.
+  EXPECT_EQ(cluster.vm_stats(vm).downtime, SimTime{});
+
+  const common::Work work_after_abort = cluster.host(0).vm(s).total_work;
+  cluster.run_until(seconds(8));
+  EXPECT_GT(cluster.host(0).vm(s).total_work, work_after_abort)
+      << "guest must keep running on the source";
+
+  ASSERT_TRUE(cluster.migrate(vm, 1)) << "aborted VM must be migratable again";
+  cluster.run_until(seconds(20));
+  ASSERT_EQ(cluster.migrations().size(), 2u);
+  const MigrationRecord& redo = cluster.migrations().back();
+  EXPECT_EQ(redo.outcome, MigrationOutcome::kCompleted);
+  EXPECT_EQ(redo.credit_exported, redo.credit_imported);
+  EXPECT_EQ(cluster.residence(vm), 1u);
+}
+
+TEST(MigrationFaultTest, AbortDuringPauseRollsBackWithCreditConserved) {
+  Cluster cluster{two_host_config()};
+  // Non-convergent dirtier: 8 rounds of 1024 MB (stop at t = 2 + 8.192 s),
+  // then a 1.044 s pause — plenty of room to abort mid-pause.
+  ClusterVmConfig vc = hog_vm("dirtier", 20.0, 1024.0);
+  vc.dirty_mb_per_s = 2000.0;
+  const GlobalVmId vm = cluster.add_vm(std::move(vc), std::make_unique<wl::BusyLoop>(), 0);
+  const common::VmId s = Cluster::slot(vm);
+
+  cluster.run_until(seconds(2));
+  ASSERT_TRUE(cluster.migrate(vm, 1));
+  const MigrationPlan plan = plan_migration(1024.0, 2000.0, cluster.config().migration);
+  const SimTime stop = seconds(2) + plan.precopy_duration;
+  const SimTime abort_at = stop + msec(300);
+  ASSERT_LT(abort_at, stop + plan.downtime) << "abort instant must land inside the pause";
+
+  cluster.run_until(abort_at);
+  ASSERT_TRUE(cluster.engine().detached(vm)) << "guest must be in its pause";
+  ASSERT_TRUE(cluster.abort_migration(vm));
+
+  ASSERT_EQ(cluster.migrations().size(), 1u);
+  const MigrationRecord& rec = cluster.migrations().front();
+  EXPECT_EQ(rec.outcome, MigrationOutcome::kAbortedStopCopy);
+  EXPECT_EQ(rec.stop, stop);
+  EXPECT_EQ(rec.end, abort_at);
+  EXPECT_EQ(rec.downtime, msec(300)) << "record carries the pause actually experienced";
+  // Rollback conservation: the exported balance landed back on the SOURCE.
+  EXPECT_EQ(rec.credit_exported, rec.credit_imported);
+  auto& src_sched = dynamic_cast<sched::CreditScheduler&>(cluster.host(0).scheduler());
+  EXPECT_EQ(src_sched.balance(s), rec.credit_exported);
+  // Cap re-established at the source's current P-state (max here, so the
+  // compensated cap equals the purchased credit).
+  EXPECT_DOUBLE_EQ(src_sched.cap(s), 20.0);
+  EXPECT_EQ(cluster.residence(vm), 0u);
+  EXPECT_EQ(cluster.vm_state(vm), VmState::kRunning);
+  // The truncated pause is still real downtime: charged to the VM and SLA.
+  EXPECT_EQ(cluster.vm_stats(vm).downtime, msec(300));
+  EXPECT_GE(cluster.sla().violation_time(vm), msec(300));
+
+  const common::Work work_at_abort = cluster.host(0).vm(s).total_work;
+  cluster.run_until(seconds(15));
+  EXPECT_GT(cluster.host(0).vm(s).total_work, work_at_abort)
+      << "rolled-back guest must resume on the source";
+  EXPECT_EQ(cluster.host(1).vm(s).total_work, common::Work{});
+}
+
+TEST(MigrationFaultTest, CrashDuringPauseLosesGuest) {
+  Cluster cluster{two_host_config()};
+  ClusterVmConfig vc = hog_vm("dirtier", 20.0, 1024.0);
+  vc.dirty_mb_per_s = 2000.0;
+  const GlobalVmId vm = cluster.add_vm(std::move(vc), std::make_unique<wl::BusyLoop>(), 0);
+
+  cluster.run_until(seconds(2));
+  ASSERT_TRUE(cluster.migrate(vm, 1));
+  const MigrationPlan plan = plan_migration(1024.0, 2000.0, cluster.config().migration);
+  const SimTime mid_pause = seconds(2) + plan.precopy_duration + msec(300);
+  cluster.run_until(mid_pause);
+  ASSERT_TRUE(cluster.engine().detached(vm));
+
+  // Source crashes while the guest exists only in transit: the one
+  // unrecoverable case — restart_orphans cannot save what no host holds.
+  ASSERT_TRUE(cluster.crash_host(0, /*restart_orphans=*/true));
+  ASSERT_EQ(cluster.migrations().size(), 1u);
+  const MigrationRecord& rec = cluster.migrations().front();
+  EXPECT_EQ(rec.outcome, MigrationOutcome::kLostSourceCrash);
+  EXPECT_EQ(rec.end, mid_pause);
+  EXPECT_EQ(rec.credit_imported, SimTime{}) << "the crash broke conservation, on record";
+  EXPECT_EQ(cluster.vm_state(vm), VmState::kLost);
+  EXPECT_EQ(cluster.lost_vm_count(), 1u);
+  EXPECT_EQ(cluster.running_vm_count(), 0u);
+  EXPECT_TRUE(cluster.orphaned_vms().empty()) << "lost, not orphaned: nothing to recover";
+  EXPECT_TRUE(cluster.crashed(0));
+  EXPECT_FALSE(cluster.powered_on(0));
+  EXPECT_FALSE(cluster.crash_host(1, true)) << "must refuse to crash the last live host";
+
+  // The fleet keeps following the clock; a lost VM accrues nothing further.
+  const SimTime observed = cluster.sla().observed_time(vm);
+  cluster.run_until(seconds(20));
+  EXPECT_EQ(cluster.sla().observed_time(vm), observed);
+}
+
+TEST(MigrationFaultTest, CrashWithRestartOrphansAndManagerRecovers) {
+  Cluster cluster{two_host_config()};
+  ClusterManagerConfig mc;
+  mc.period = seconds(5);
+  mc.consolidate = false;  // isolate the recovery path
+  mc.vovo = false;
+  mc.dvfs = ClusterManagerConfig::Dvfs::kPinnedMax;
+  cluster.install_manager(std::make_unique<ClusterManager>(mc));
+  const GlobalVmId vm =
+      cluster.add_vm(hog_vm("hog", 10.0, 512.0), std::make_unique<wl::BusyLoop>(), 0);
+  const common::VmId s = Cluster::slot(vm);
+
+  cluster.run_until(seconds(12));
+  ASSERT_TRUE(cluster.crash_host(0, /*restart_orphans=*/true));
+  EXPECT_EQ(cluster.vm_state(vm), VmState::kOrphaned);
+  ASSERT_EQ(cluster.orphaned_vms().size(), 1u);
+  EXPECT_EQ(cluster.orphaned_vms().front(), vm);
+  EXPECT_FALSE(cluster.migrate(vm, 1)) << "an orphan cannot be live-migrated";
+
+  cluster.run_until(seconds(30));  // manager tick at t=15 runs the recovery pass
+  EXPECT_EQ(cluster.vm_state(vm), VmState::kRunning);
+  EXPECT_EQ(cluster.residence(vm), 1u);
+  ASSERT_EQ(cluster.recoveries().size(), 1u);
+  const VmRecovery& rec = cluster.recoveries().front();
+  EXPECT_EQ(rec.vm, vm);
+  EXPECT_EQ(rec.crashed_at, seconds(12));
+  EXPECT_EQ(rec.restarted_at, seconds(15));
+  EXPECT_EQ(rec.latency(), seconds(3));
+  EXPECT_EQ(cluster.manager()->restarts_issued(), 1u);
+  EXPECT_EQ(cluster.manager()->restarts_abandoned(), 0u);
+
+  // Restart contract: purchased cap back (max frequency → uncompensated),
+  // balance empty — the crash burned whatever the dead slot held — and the
+  // outage SLA-charged in full.
+  auto& dst_sched = dynamic_cast<sched::CreditScheduler&>(cluster.host(1).scheduler());
+  EXPECT_DOUBLE_EQ(dst_sched.cap(s), 10.0);
+  EXPECT_GE(cluster.sla().violation_time(vm), seconds(3));
+  EXPECT_GT(cluster.host(1).vm(s).total_work, common::Work{})
+      << "recovered guest must actually run";
+}
+
+TEST(MigrationFaultTest, RestartBackoffGivesUp) {
+  // The only live host is too small for the orphan: every recovery attempt
+  // fails placement, the backoff doubles, and after max_restart_attempts
+  // the VM is abandoned as lost — recovery must terminate, not spin.
+  ClusterConfig cc;
+  cc.host.trace_stride = SimTime{};
+  platform::HostClass big;
+  big.name = "big";
+  big.memory_mb = 8192.0;
+  platform::HostClass small;
+  small.name = "small";
+  small.memory_mb = 256.0;  // < the orphan's 512 MB reservation
+  cc.host_classes = {big, small};
+  Cluster cluster{std::move(cc)};
+  ClusterManagerConfig mc;
+  mc.period = seconds(5);
+  mc.consolidate = false;
+  mc.vovo = false;
+  mc.dvfs = ClusterManagerConfig::Dvfs::kPinnedMax;
+  mc.max_restart_attempts = 2;
+  mc.restart_backoff = seconds(5);
+  cluster.install_manager(std::make_unique<ClusterManager>(mc));
+  const GlobalVmId vm =
+      cluster.add_vm(hog_vm("hog", 10.0, 512.0), std::make_unique<wl::BusyLoop>(), 0);
+
+  cluster.run_until(seconds(12));
+  ASSERT_TRUE(cluster.crash_host(0, /*restart_orphans=*/true));
+  // Tick t=15: attempt 1 fails, next retry at t=20. Tick t=20: attempt 2
+  // fails and exhausts the budget.
+  cluster.run_until(seconds(40));
+  EXPECT_EQ(cluster.vm_state(vm), VmState::kLost);
+  EXPECT_EQ(cluster.lost_vm_count(), 1u);
+  EXPECT_TRUE(cluster.recoveries().empty());
+  EXPECT_EQ(cluster.manager()->restarts_issued(), 0u);
+  EXPECT_EQ(cluster.manager()->restarts_abandoned(), 1u);
+}
+
+TEST(MigrationFaultTest, BrownoutSkipsTicksAndRecovers) {
+  Cluster cluster{two_host_config()};
+  ClusterManagerConfig mc;
+  mc.period = seconds(10);
+  mc.dvfs = ClusterManagerConfig::Dvfs::kPinnedMax;
+  cluster.install_manager(std::make_unique<ClusterManager>(mc));
+  const GlobalVmId vm0 =
+      cluster.add_vm(hog_vm("a", 10.0, 512.0), std::make_unique<wl::IdleGuest>(), 0);
+  const GlobalVmId vm1 =
+      cluster.add_vm(hog_vm("b", 10.0, 512.0), std::make_unique<wl::IdleGuest>(), 1);
+  // Planner browned out for [15 s, 35 s): the ticks at 20 and 30 vanish.
+  cluster.manager()->add_brownout(seconds(15), seconds(35));
+
+  // Tick t=10 consolidates the spread pair onto one host. Then, inside the
+  // blackout, un-consolidate by hand: the drift the absent planner cannot
+  // correct until the window ends.
+  cluster.run_until(seconds(25));
+  EXPECT_EQ(cluster.residence(vm0), cluster.residence(vm1)) << "t=10 tick consolidated";
+  const HostId packed = cluster.residence(vm1);
+  const HostId other = packed == 0 ? 1 : 0;
+  ASSERT_TRUE(cluster.migrate(vm1, other));
+  cluster.run_until(seconds(33));
+  EXPECT_NE(cluster.residence(vm0), cluster.residence(vm1))
+      << "no tick inside the brownout undoes the drift";
+
+  // First live tick (t=40) re-plans from the drifted state and re-packs.
+  cluster.run_until(seconds(60));
+  EXPECT_EQ(cluster.residence(vm0), cluster.residence(vm1));
+  EXPECT_EQ(cluster.manager()->ticks_skipped(), 2u);  // t=20, t=30
+  EXPECT_EQ(cluster.manager()->ticks(), 4u);          // t=10, 40, 50, 60
+  EXPECT_GE(cluster.manager()->migrations_issued(), 2u);
+}
+
+TEST(MigrationFaultTest, LinkDegradeExtendsInFlightMigration) {
+  Cluster cluster{two_host_config()};
+  const GlobalVmId vm =
+      cluster.add_vm(hog_vm("hog", 20.0, 1024.0), std::make_unique<wl::BusyLoop>(), 0);
+
+  cluster.run_until(seconds(5));
+  ASSERT_TRUE(cluster.migrate(vm, 1));
+  const MigrationPlan orig = plan_migration(1024.0, 50.0, cluster.config().migration);
+  const SimTime orig_end = seconds(5) + orig.precopy_duration + orig.downtime;
+
+  // Degrade the link 10× mid round 0 (the 1024 MB push spans [5, 6.024]).
+  cluster.run_until(seconds(5) + msec(500));
+  cluster.set_link_bandwidth(100.0);
+  EXPECT_DOUBLE_EQ(cluster.link_bandwidth(), 100.0);
+
+  cluster.run_until(seconds(60));
+  ASSERT_EQ(cluster.migrations().size(), 1u);
+  const MigrationRecord& rec = cluster.migrations().front();
+  EXPECT_EQ(rec.outcome, MigrationOutcome::kCompleted);
+  EXPECT_GT(rec.end, orig_end) << "a slower link must lengthen the migration";
+  // Committed-round rule, exactly: round 0 finishes on its old schedule at
+  // t=6.024; its 51.2 MB redirt pushes at 100 MB/s until t=6.536 (the
+  // 25.6 MB redirt then clears the threshold), and the pause is
+  // 25.6/100 s + 20 ms.
+  EXPECT_EQ(rec.rounds, 2u);
+  EXPECT_EQ(rec.stop, seconds(6) + common::usec(536'000));
+  EXPECT_EQ(rec.downtime, msec(276));
+  EXPECT_EQ(rec.end, seconds(6) + common::usec(812'000));
+  EXPECT_NEAR(rec.transferred_mb, 1024.0 + 51.2 + 25.6, 1e-9);
+  EXPECT_EQ(rec.credit_exported, rec.credit_imported);
+  EXPECT_EQ(cluster.residence(vm), 1u);
+  EXPECT_EQ(cluster.vm_state(vm), VmState::kRunning);
 }
 
 }  // namespace
