@@ -54,12 +54,28 @@
 // `chaos{...}` JSON block. The chaos runs are separate from the policy
 // measurements above — fault-free numbers stay fault-free.
 //
+// --scale-hosts=N (with --scale-vms, --scale-horizon) adds the SCALE tier:
+// the same hosting scenario at fleet size (the CI gate runs 1000 hosts x
+// 10000 VMs), executed twice — the delta-driven incremental planner
+// (ClusterManagerConfig::incremental, the default) against the legacy
+// full-replan manager — with byte-identity between the two ALWAYS gated:
+// the incremental planner is an optimization, never a behavior change.
+// Planner wall time is metered inside the manager (planner_ns / planning
+// ticks / plans skipped) and lands in the `scale{...}` JSON block;
+// --require-scale-rate puts a sim-s/wall-s floor on the scale run,
+// --require-planner-speedup a floor on legacy-vs-incremental planner time,
+// and --require-scale-planner-ns a ceiling on incremental planner ns per
+// manager tick (all full runs only — --smoke is exempt, scale needs scale).
+//
 // Usage: bench_cluster_consolidation [--smoke] [--horizon=SECONDS]
 //          [--hosts=8] [--vms=64] [--out=BENCH_cluster.json]
 //          [--require-rate=RATE] [--threads=N]
 //          [--require-parallel-speedup=X]
 //          [--fleet=uniform|mixed] [--fleet-seed=N] [--require-hetero-saving]
 //          [--trace=DIR] [--chaos-seed=N]
+//          [--scale-hosts=N] [--scale-vms=N] [--scale-horizon=SECONDS]
+//          [--require-scale-rate=RATE] [--require-planner-speedup=X]
+//          [--require-scale-planner-ns=NS]
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -450,6 +466,111 @@ int main(int argc, char** argv) {
     chaos_json = buf;
   }
 
+  // --- scale: the delta-driven incremental planner at fleet size ---
+  // Same scenario recipe at --scale-hosts x --scale-vms, run twice: the
+  // incremental manager (persistent HostBook + event-fed dirty set +
+  // unchanged-tick early-out) against the legacy from-scratch replan.
+  // Byte-identity between the two is the whole contract — the planner
+  // rewrite is an optimization, never a behavior change — so that gate is
+  // always on, smoke included. The planner-time floors/ceilings only bind
+  // on full runs: a smoke horizon barely plans at all.
+  const auto scale_hosts = static_cast<std::size_t>(flags.get_int("scale-hosts", 0));
+  bool scale_identical = true;
+  double scale_rate = 0.0;
+  double planner_speedup = 0.0;
+  double inc_ns_per_tick = 0.0;
+  std::string scale_json;
+  if (scale_hosts > 0) {
+    const auto scale_vms = static_cast<std::size_t>(
+        flags.get_int("scale-vms", static_cast<long>(scale_hosts * 10)));
+    const long scale_horizon_s =
+        flags.get_int("scale-horizon", flags.has("smoke") ? 120 : 600);
+    const SimTime scale_horizon = seconds(scale_horizon_s);
+
+    auto cfg_scale = base;
+    cfg_scale.hosts = scale_hosts;
+    cfg_scale.vms = scale_vms;
+    cfg_scale.horizon = scale_horizon;
+    cfg_scale.fast_path = true;
+
+    std::printf("\n  scale tier: %zu hosts x %zu VMs, %ld simulated s\n",
+                scale_hosts, scale_vms, scale_horizon_s);
+
+    auto cfg_leg = cfg_scale;
+    cfg_leg.manager.incremental = false;
+    auto sc_leg = pas::scenario::build_hosting_cluster(cfg_leg);
+    const double leg_wall = run_timed(*sc_leg, scale_horizon);
+
+    auto cfg_inc = cfg_scale;
+    cfg_inc.manager.incremental = true;
+    auto sc_inc = pas::scenario::build_hosting_cluster(cfg_inc);
+    const double inc_wall = run_timed(*sc_inc, scale_horizon);
+    scale_rate = static_cast<double>(scale_horizon_s) / inc_wall;
+
+    scale_identical = clusters_identical(*sc_leg, *sc_inc);
+
+    const pas::cluster::ClusterManager& inc_mgr = *sc_inc->manager();
+    const pas::cluster::ClusterManager& leg_mgr = *sc_leg->manager();
+    const pas::consolidation::HostBookStats& bk = inc_mgr.book_stats();
+    // Amortized planner cost per manager tick: skipped ticks count — the
+    // early-out is exactly what buys the amortization.
+    const std::size_t inc_ticks = inc_mgr.planning_ticks() + inc_mgr.plans_skipped();
+    inc_ns_per_tick = inc_ticks > 0
+                          ? static_cast<double>(inc_mgr.planner_ns()) /
+                                static_cast<double>(inc_ticks)
+                          : 0.0;
+    planner_speedup = inc_mgr.planner_ns() > 0
+                          ? static_cast<double>(leg_mgr.planner_ns()) /
+                                static_cast<double>(inc_mgr.planner_ns())
+                          : 0.0;
+
+    std::printf("  legacy replan     : %8.2f wall s   planner %8.1f ms over %zu tick(s)\n",
+                leg_wall, static_cast<double>(leg_mgr.planner_ns()) * 1e-6,
+                leg_mgr.planning_ticks());
+    std::printf("  incremental       : %8.2f wall s   planner %8.1f ms over %zu tick(s), "
+                "%zu skipped\n",
+                inc_wall, static_cast<double>(inc_mgr.planner_ns()) * 1e-6,
+                inc_mgr.planning_ticks(), inc_mgr.plans_skipped());
+    std::printf("  planner speedup: %.2fx   %.0f ns/tick amortized   "
+                "sim rate %.0f sim-s/wall-s\n",
+                planner_speedup, inc_ns_per_tick, scale_rate);
+    std::printf("  book: %zu plan(s) = %zu cached + %zu delta + %zu rebuild; "
+                "%zu rank(s) walked, %zu scan(s), %zu mark(s)+%zu event(s) coalesced\n",
+                bk.plans, bk.cached_plans, bk.delta_plans, bk.full_rebuilds,
+                bk.vms_walked, bk.vms_scanned, bk.coalesced_marks,
+                inc_mgr.events_coalesced());
+    std::printf("  identical to legacy replan: %s\n",
+                scale_identical ? "yes" : "NO — BUG");
+
+    char buf[1024];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"scale\": {\n"
+                  "    \"hosts\": %zu,\n"
+                  "    \"vms\": %zu,\n"
+                  "    \"simulated_seconds\": %ld,\n"
+                  "    \"incremental\": {\"wall_seconds\": %.6f, \"sim_per_wall\": %.1f,\n"
+                  "      \"planner_ns\": %llu, \"planning_ticks\": %zu, "
+                  "\"plans_skipped\": %zu,\n"
+                  "      \"planner_ns_per_tick\": %.1f, \"events_coalesced\": %zu},\n"
+                  "    \"legacy\": {\"wall_seconds\": %.6f, \"planner_ns\": %llu, "
+                  "\"planning_ticks\": %zu},\n"
+                  "    \"planner_speedup\": %.3f,\n"
+                  "    \"book\": {\"plans\": %zu, \"cached\": %zu, \"delta\": %zu, "
+                  "\"full_rebuilds\": %zu,\n"
+                  "      \"vms_walked\": %zu, \"vms_scanned\": %zu, "
+                  "\"coalesced_marks\": %zu},\n"
+                  "    \"scale_identical\": %s\n  },\n",
+                  scale_hosts, scale_vms, scale_horizon_s, inc_wall, scale_rate,
+                  static_cast<unsigned long long>(inc_mgr.planner_ns()),
+                  inc_mgr.planning_ticks(), inc_mgr.plans_skipped(), inc_ns_per_tick,
+                  inc_mgr.events_coalesced(), leg_wall,
+                  static_cast<unsigned long long>(leg_mgr.planner_ns()),
+                  leg_mgr.planning_ticks(), planner_speedup, bk.plans, bk.cached_plans,
+                  bk.delta_plans, bk.full_rebuilds, bk.vms_walked, bk.vms_scanned,
+                  bk.coalesced_marks, scale_identical ? "true" : "false");
+    scale_json = buf;
+  }
+
   {
     std::ofstream js{out};
     if (!js) {
@@ -486,7 +607,7 @@ int main(int argc, char** argv) {
     js << buf;
     // The optional blocks embed unbounded strings (class names, the
     // --trace path): streamed, not snprintf'd, so they cannot truncate.
-    js << hetero_json << trace_json << chaos_json;
+    js << hetero_json << trace_json << chaos_json << scale_json;
     std::snprintf(buf, sizeof(buf),
                   "  \"migrations\": %zu,\n"
                   "  \"hosts_on_final\": %zu\n"
@@ -511,6 +632,46 @@ int main(int argc, char** argv) {
   if (!chaos_identical) {
     std::printf("  FAIL: engines diverged under injected faults\n");
     return 1;
+  }
+  if (!scale_identical) {
+    std::printf("  FAIL: incremental planner diverged from the legacy replan\n");
+    return 1;
+  }
+  const double scale_floor = flags.get_double("require-scale-rate", 0.0);
+  if (scale_floor > 0.0 && !flags.has("smoke")) {
+    if (scale_hosts == 0) {
+      std::printf("  FAIL: --require-scale-rate needs --scale-hosts > 0\n");
+      return 1;
+    }
+    if (scale_rate < scale_floor) {
+      std::printf("  FAIL: scale rate %.0f sim-s/wall-s below the %.0f floor\n",
+                  scale_rate, scale_floor);
+      return 1;
+    }
+  }
+  const double planner_floor = flags.get_double("require-planner-speedup", 0.0);
+  if (planner_floor > 0.0 && !flags.has("smoke")) {
+    if (scale_hosts == 0) {
+      std::printf("  FAIL: --require-planner-speedup needs --scale-hosts > 0\n");
+      return 1;
+    }
+    if (planner_speedup < planner_floor) {
+      std::printf("  FAIL: planner speedup %.2fx below the %.2fx floor\n",
+                  planner_speedup, planner_floor);
+      return 1;
+    }
+  }
+  const double ns_ceiling = flags.get_double("require-scale-planner-ns", 0.0);
+  if (ns_ceiling > 0.0 && !flags.has("smoke")) {
+    if (scale_hosts == 0) {
+      std::printf("  FAIL: --require-scale-planner-ns needs --scale-hosts > 0\n");
+      return 1;
+    }
+    if (inc_ns_per_tick > ns_ceiling) {
+      std::printf("  FAIL: planner %.0f ns/tick above the %.0f ceiling\n",
+                  inc_ns_per_tick, ns_ceiling);
+      return 1;
+    }
   }
   const double par_floor = flags.get_double("require-parallel-speedup", 0.0);
   if (par_floor > 0.0 && !flags.has("smoke")) {

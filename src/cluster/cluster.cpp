@@ -1,5 +1,6 @@
 #include "cluster/cluster.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
@@ -54,6 +55,7 @@ Cluster::Cluster(ClusterConfig config)
     : cfg_(std::move(config)), classes_(resolve_classes(cfg_)), meter_(classes_.size()) {
   engine_ = std::make_unique<MigrationEngine>(cfg_.migration, events_);
   crashed_.assign(classes_.size(), 0);
+  host_slots_.resize(classes_.size());
 
   const std::size_t executors = cfg_.execution.threads == 0
                                     ? common::ThreadPool::hardware_threads()
@@ -94,20 +96,62 @@ GlobalVmId Cluster::add_vm(ClusterVmConfig config, std::unique_ptr<wl::Workload>
     throw std::invalid_argument("Cluster: VM memory must be positive");
 
   const auto gid = static_cast<GlobalVmId>(vm_cfgs_.size());
-  for (std::size_t h = 0; h < hosts_.size(); ++h) {
-    const common::VmId slot_id = hosts_[h]->add_vm(
-        config.vm, h == home ? std::move(workload) : std::make_unique<wl::IdleGuest>());
-    if (slot_id != slot(gid)) throw std::logic_error("Cluster: slot layout out of sync");
-  }
+  // Lazy topology: the VM gets a slot on its home only; other hosts learn
+  // about it if a migration or recovery ever lands it there.
+  const common::VmId slot_id = hosts_[home]->add_vm(config.vm, std::move(workload));
   sla_.register_vm(gid, config.vm.credit);
   vm_cfgs_.push_back(std::move(config));
   home_.push_back(home);
+  home_slot_.push_back(slot_id);
+  vm_slots_.emplace_back();
   vm_state_.push_back(VmState::kRunning);
   orphan_wl_.emplace_back();
   orphan_since_.emplace_back();
   downtime_.emplace_back();
   migration_count_.push_back(0);
+  record_slot(home, gid, slot_id);
+  ++topology_version_;
   return gid;
+}
+
+void Cluster::record_slot(HostId host, GlobalVmId vm, common::VmId slot) {
+  auto& hs = host_slots_[host];
+  hs.insert(std::lower_bound(hs.begin(), hs.end(), vm,
+                             [](const auto& e, GlobalVmId g) { return e.first < g; }),
+            {vm, slot});
+  auto& vs = vm_slots_[vm];
+  vs.insert(std::lower_bound(vs.begin(), vs.end(), host,
+                             [](const auto& e, HostId h) { return e.first < h; }),
+            {host, slot});
+}
+
+bool Cluster::has_slot(HostId host, GlobalVmId vm) const {
+  const auto& hs = host_slots_.at(host);
+  const auto it = std::lower_bound(hs.begin(), hs.end(), vm,
+                                   [](const auto& e, GlobalVmId g) { return e.first < g; });
+  return it != hs.end() && it->first == vm;
+}
+
+common::VmId Cluster::slot_on(HostId host, GlobalVmId vm) const {
+  const auto& hs = host_slots_.at(host);
+  const auto it = std::lower_bound(hs.begin(), hs.end(), vm,
+                                   [](const auto& e, GlobalVmId g) { return e.first < g; });
+  if (it == hs.end() || it->first != vm)
+    throw std::invalid_argument("Cluster: VM has no slot on that host");
+  return it->second;
+}
+
+common::VmId Cluster::ensure_slot(HostId host, GlobalVmId vm) {
+  const auto& hs = host_slots_[host];
+  const auto it = std::lower_bound(hs.begin(), hs.end(), vm,
+                                   [](const auto& e, GlobalVmId g) { return e.first < g; });
+  if (it != hs.end() && it->first == vm) return it->second;
+  // First touch: park an IdleGuest in a freshly created slot. Mid-run this
+  // is the Host::add_vm between-segments path.
+  const common::VmId slot = hosts_[host]->add_vm(vm_cfgs_[vm].vm,
+                                                 std::make_unique<wl::IdleGuest>());
+  record_slot(host, vm, slot);
+  return slot;
 }
 
 void Cluster::install_manager(std::unique_ptr<ClusterManager> manager) {
@@ -144,16 +188,18 @@ void Cluster::sample_sla(common::SimTime /*now*/) {
     if (vm_state_[gid] != VmState::kRunning) continue;
     if (engine_->detached(gid)) continue;  // pause accounted at attach time
     const hv::Host& h = *hosts_[home_[gid]];
-    const common::VmId s = slot(gid);
+    const common::VmId s = home_slot_[gid];
     sla_.record_window(gid, window, h.monitor().vm_absolute_load_pct(s),
                        h.vm_saturated_last_window(s));
   }
 }
 
 void Cluster::on_migration_done(const MigrationRecord& record) {
+  ++topology_version_;  // any outcome: a flight left the in-flight set
   switch (record.outcome) {
     case MigrationOutcome::kCompleted:
       home_[record.vm] = record.to;
+      home_slot_[record.vm] = slot_on(record.to, record.vm);
       downtime_[record.vm] += record.downtime;
       ++migration_count_[record.vm];
       // The stop-and-copy pause is SLA-visible: a full window of length
@@ -177,6 +223,7 @@ void Cluster::on_migration_done(const MigrationRecord& record) {
       // The guest evaporated with its source; the crash sweep that caused
       // this runs right after and handles the host side.
       vm_state_[record.vm] = VmState::kLost;
+      if (manager_) manager_->note_vm_event(record.vm);
       break;
   }
 }
@@ -190,16 +237,17 @@ bool Cluster::migrate(GlobalVmId vm, HostId to) {
   const HostId from = home_[vm];
   set_powered(to, true);  // the destination must be receiving
   const ClusterVmConfig& cfg = vm_cfgs_[vm];
-  MigrationEngine::Endpoint source{hosts_[from].get(), slot(vm), agents_[from], 0};
-  MigrationEngine::Endpoint dest{hosts_[to].get(), slot(vm), agents_[to], 0};
+  MigrationEngine::Endpoint source{hosts_[from].get(), home_slot_[vm], agents_[from], 0};
+  MigrationEngine::Endpoint dest{hosts_[to].get(), ensure_slot(to, vm), agents_[to], 0};
   engine_->begin(vm, from, to, source, dest, cfg.memory_mb, cfg.dirty_mb_per_s,
                  cfg.vm.credit, now_,
                  [this](const MigrationRecord& r) { on_migration_done(r); });
+  ++topology_version_;
   return true;
 }
 
 bool Cluster::host_in_use(HostId host) const {
-  for (GlobalVmId gid = 0; gid < home_.size(); ++gid)
+  for (const auto& [gid, s] : host_slots_[host])
     if (home_[gid] == host && vm_state_[gid] == VmState::kRunning) return true;
   return engine_->endpoint_in_flight(host);
 }
@@ -208,6 +256,10 @@ bool Cluster::set_powered(HostId host, bool on) {
   if (host >= hosts_.size()) throw std::invalid_argument("Cluster: bad host id");
   if (on && crashed_[host]) return false;
   if (!on && host_in_use(host)) return false;
+  // Only an actual flip is a topology change: the manager's VOVO pass
+  // idempotently re-asserts power states every tick, and those no-ops must
+  // not defeat the unchanged-tick early-out.
+  if (meter_.powered(host) != on) ++topology_version_;
   meter_.set_powered(host, on, hosts_[host]->energy().joules());
   return true;
 }
@@ -227,14 +279,16 @@ bool Cluster::crash_host(HostId host, bool restart_orphans) {
   // sweep below to orphan it like any other resident.
   engine_->abort_host_flights(host, now_);
   hv::Host& h = *hosts_[host];
-  for (GlobalVmId gid = 0; gid < vm_cfgs_.size(); ++gid) {
+  // Resident sweep over the host's slot holders, ascending VM id — only
+  // VMs that actually touched this host can be resident on it.
+  for (const auto& [gid, s] : host_slots_[host]) {
     if (home_[gid] != host || vm_state_[gid] != VmState::kRunning) continue;
-    auto workload = h.swap_workload(slot(gid), std::make_unique<wl::IdleGuest>());
+    auto workload = h.swap_workload(s, std::make_unique<wl::IdleGuest>());
     // Crash semantics for credit: the balance dies with the host (unlike a
     // migration's export, nothing carries it), and the cap drops to zero so
     // the dead slot earns nothing.
-    h.scheduler().set_cap(slot(gid), 0.0);
-    h.scheduler().import_credit(slot(gid), common::SimTime{});
+    h.scheduler().set_cap(s, 0.0);
+    h.scheduler().import_credit(s, common::SimTime{});
     if (restart_orphans) {
       vm_state_[gid] = VmState::kOrphaned;
       orphan_wl_[gid] = std::move(workload);
@@ -242,10 +296,13 @@ bool Cluster::crash_host(HostId host, bool restart_orphans) {
     } else {
       vm_state_[gid] = VmState::kLost;
     }
+    if (manager_) manager_->note_vm_event(gid);
   }
   // Silence the host's hypervisor agent too — a crashed host burns no CPU.
   h.scheduler().set_cap(0, 0.0);
   h.scheduler().import_credit(0, common::SimTime{});
+  if (manager_) manager_->note_host_crashed(host);
+  ++topology_version_;
   const bool off = set_powered(host, false);
   (void)off;
   assert(off && "crashed host must be powerable-off after the sweep");
@@ -259,17 +316,20 @@ bool Cluster::restart_vm(GlobalVmId vm, HostId to) {
 
   set_powered(to, true);  // recovery may revive a VOVO-parked host
   hv::Host& dst = *hosts_[to];
-  (void)dst.swap_workload(slot(vm), std::move(orphan_wl_[vm]));
+  const common::VmId s = ensure_slot(to, vm);
+  (void)dst.swap_workload(s, std::move(orphan_wl_[vm]));
   const ClusterVmConfig& cfg = vm_cfgs_[vm];
   // Same re-attach contract as a migration's attach: purchased credit
   // compensated for the destination's current P-state — but with an empty
   // balance, because the crash burned whatever the slot held.
-  dst.scheduler().set_cap(slot(vm),
-                          core::compensated_credit(cfg.vm.credit, dst.cpu().ladder(),
-                                                   dst.cpu().current_index()));
-  dst.scheduler().import_credit(slot(vm), common::SimTime{});
+  dst.scheduler().set_cap(s, core::compensated_credit(cfg.vm.credit, dst.cpu().ladder(),
+                                                      dst.cpu().current_index()));
+  dst.scheduler().import_credit(s, common::SimTime{});
   home_[vm] = to;
+  home_slot_[vm] = s;
   vm_state_[vm] = VmState::kRunning;
+  ++topology_version_;
+  if (manager_) manager_->note_vm_event(vm);
   const common::SimTime outage = now_ - orphan_since_[vm];
   if (outage > common::SimTime{})
     sla_.record_window(vm, outage, 0.0, /*saturated=*/true);
@@ -282,6 +342,8 @@ void Cluster::mark_lost(GlobalVmId vm) {
   if (vm_state_[vm] != VmState::kOrphaned) return;
   orphan_wl_[vm].reset();
   vm_state_[vm] = VmState::kLost;
+  ++topology_version_;
+  if (manager_) manager_->note_vm_event(vm);
 }
 
 bool Cluster::abort_migration(GlobalVmId vm) {
@@ -353,10 +415,11 @@ double Cluster::average_watts() const {
 ClusterVmStats Cluster::vm_stats(GlobalVmId vm) const {
   if (vm >= vm_cfgs_.size()) throw std::invalid_argument("Cluster: bad VM id");
   ClusterVmStats stats;
-  const common::VmId s = slot(vm);
-  for (const auto& host : hosts_) {
-    stats.total_busy += host->vm(s).total_busy;
-    stats.total_work += host->vm(s).total_work;
+  // Only hosts the VM actually touched hold any of its time; summed in
+  // ascending host order so the totals are deterministic.
+  for (const auto& [h, s] : vm_slots_[vm]) {
+    stats.total_busy += hosts_[h]->vm(s).total_busy;
+    stats.total_work += hosts_[h]->vm(s).total_work;
   }
   stats.downtime = downtime_[vm];
   stats.migrations = migration_count_[vm];

@@ -30,16 +30,25 @@
 // thread count; tests/cluster/cluster_parallel_test.cpp sweeps
 // threads ∈ {1, 2, 4, hardware} over the fuzz scenarios to pin this.
 //
-// Topology: every cluster VM owns a slot on *every* host (slot index
-// kFirstGuestSlot + id; slot 0 is the host's hypervisor agent). Exactly one
-// slot holds the guest's workload at any time — the rest park an IdleGuest
-// that is never runnable — so migration is a workload-pointer + credit
-// handoff, and per-host dense VmIds survive untouched.
+// Topology: slots are LAZY. A cluster VM owns a slot only on hosts it has
+// actually touched — its home at add_vm, plus each migration/recovery
+// destination, created on first use (slot 0 of every host is its
+// hypervisor agent; guest slots follow in per-host arrival order). Exactly
+// one of a VM's slots holds the guest's workload at any time — the others
+// park an IdleGuest that is never runnable — so migration remains a
+// workload-pointer + credit handoff and per-host dense VmIds stay stable
+// once created. Lazy creation is what makes fleet scale feasible: at
+// ~10k hosts / 100k VMs the old every-VM-on-every-host layout would mean
+// a billion slots; lazily it is 100k plus one per migration. Slot lookups
+// go through per-host and per-VM sorted maps (slot_on / host_slots), and
+// topology_version() counts every residency/power/lifecycle change so
+// planners can skip ticks where nothing moved.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "cluster/hypervisor_agent.hpp"
@@ -151,8 +160,9 @@ class Cluster {
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  /// Adds a VM resident on `home`, creating its slot on every host. Must
-  /// precede the first run_until.
+  /// Adds a VM resident on `home`, creating its slot there (slots on other
+  /// hosts appear lazily if it ever migrates). Must precede the first
+  /// run_until.
   GlobalVmId add_vm(ClusterVmConfig config, std::unique_ptr<wl::Workload> workload,
                     HostId home);
 
@@ -243,8 +253,23 @@ class Cluster {
   [[nodiscard]] const ClusterVmConfig& vm_config(GlobalVmId vm) const {
     return vm_cfgs_.at(vm);
   }
-  /// The VM's slot index on every host.
-  [[nodiscard]] static common::VmId slot(GlobalVmId vm) { return kFirstGuestSlot + vm; }
+  /// The VM's slot index on `host`. Throws if the VM never touched that
+  /// host — check has_slot() first when unsure.
+  [[nodiscard]] common::VmId slot_on(HostId host, GlobalVmId vm) const;
+  [[nodiscard]] bool has_slot(HostId host, GlobalVmId vm) const;
+  /// The VM's slot on its current residence (cached — the hot lookup).
+  [[nodiscard]] common::VmId home_slot(GlobalVmId vm) const { return home_slot_.at(vm); }
+  /// Every (vm, slot) pair on `host`, ascending by VM id — the
+  /// deterministic order per-host sweeps (crash, DVFS re-cap, recovery
+  /// reservation sums) walk.
+  [[nodiscard]] const std::vector<std::pair<GlobalVmId, common::VmId>>& host_slots(
+      HostId host) const {
+    return host_slots_.at(host);
+  }
+  /// Bumped on every topology change: migration begin/done (any outcome),
+  /// crash, restart, loss, and actual power flips. A planner that saw
+  /// version v and converged can skip work until the version moves.
+  [[nodiscard]] std::uint64_t topology_version() const { return topology_version_; }
   /// Host currently responsible for the VM (the source until a migration's
   /// attach completes).
   [[nodiscard]] HostId residence(GlobalVmId vm) const { return home_.at(vm); }
@@ -298,6 +323,10 @@ class Cluster {
   void advance_hosts(common::SimTime target);
   void sample_sla(common::SimTime now);
   void on_migration_done(const MigrationRecord& record);
+  /// The VM's slot on `host`, creating it (an IdleGuest parked mid-run) on
+  /// first touch.
+  common::VmId ensure_slot(HostId host, GlobalVmId vm);
+  void record_slot(HostId host, GlobalVmId vm, common::VmId slot);
 
   ClusterConfig cfg_;
   /// One class per host — cfg_.host_classes verbatim, or synthesized from
@@ -309,6 +338,12 @@ class Cluster {
 
   std::vector<ClusterVmConfig> vm_cfgs_;
   std::vector<HostId> home_;
+  std::vector<common::VmId> home_slot_;  // slot on home_, cached
+  /// Per host: (vm, slot) sorted by vm id. Per VM: (host, slot) sorted by
+  /// host id. Two views of the same lazy-slot relation.
+  std::vector<std::vector<std::pair<GlobalVmId, common::VmId>>> host_slots_;
+  std::vector<std::vector<std::pair<HostId, common::VmId>>> vm_slots_;
+  std::uint64_t topology_version_ = 0;
   std::vector<VmState> vm_state_;
   /// Workload of each kOrphaned VM, held off-host until restart/abandon.
   std::vector<std::unique_ptr<wl::Workload>> orphan_wl_;

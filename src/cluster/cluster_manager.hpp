@@ -16,17 +16,35 @@
 // is the paper's "DVFS is complementary to consolidation", measured on a
 // running fleet instead of a frozen placement.
 //
-// The planner is stateless and its inputs (credits, memory) are static, so
-// the plan is stable between ticks: once the fleet matches it, the manager
-// issues no further migrations until demand moves the DVFS step.
+// The planner's inputs (credits, memory) are static, so the plan is stable
+// between ticks: once the fleet matches it, the manager issues no further
+// migrations until demand moves the DVFS step.
+//
+// Planning is DELTA-DRIVEN by default (ClusterManagerConfig::incremental):
+// the manager keeps a persistent consolidation::HostBook mirroring the
+// live fleet and feeds it a dirty set from cluster events — crash sweeps,
+// recoveries, losses — delivered through note_vm_event/note_host_crashed
+// and coalesced per id until the next tick. The book replays only what
+// changed (falling back to a full rebuild on host-set changes) and its
+// output is byte-identical to the from-scratch place_ffd the legacy path
+// (incremental = false) runs, so both modes issue the same migrations and
+// record the same energy. On ticks where nothing changed at all — the
+// topology version is stable, no events are pending, and the fleet already
+// matches the plan — the consolidation pass is skipped outright
+// (plans_skipped()); VOVO and DVFS still run, as they track live load.
+// replan_every_tick defeats the skip for debugging.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "cluster/cluster.hpp"
 #include "common/units.hpp"
+#include "consolidation/host_book.hpp"
 
 namespace pas::cluster {
 
@@ -61,6 +79,13 @@ struct ClusterManagerConfig {
   /// granularity (a retry due mid-period waits for the next tick).
   std::size_t max_restart_attempts = 5;
   common::SimTime restart_backoff = common::seconds(20);
+  /// Delta-driven planning through the persistent HostBook (see the file
+  /// header). Off = the legacy from-scratch spec rebuild + full FFD every
+  /// tick — the A/B baseline the scale bench prices the feature against.
+  bool incremental = true;
+  /// Debug knob: run the full consolidation pass even on provably
+  /// unchanged ticks (disables the early-out, not the book).
+  bool replan_every_tick = false;
 };
 
 class ClusterManager {
@@ -80,6 +105,15 @@ class ClusterManager {
   /// time (the fault injector calls it at arm time).
   void add_brownout(common::SimTime from, common::SimTime until);
 
+  // --- cluster event feed (the Cluster calls these as faults/recoveries
+  // --- land; same-id events coalesce until the next planning tick) ---
+  /// A VM's lifecycle changed (orphaned, lost, restarted): reconcile its
+  /// book membership at the next planning tick.
+  void note_vm_event(GlobalVmId vm);
+  /// A host crashed: drop it from the book (full-rebuild fallback) at the
+  /// next planning tick.
+  void note_host_crashed(HostId host);
+
   // --- diagnostics ---
   [[nodiscard]] std::size_t ticks() const { return ticks_; }
   [[nodiscard]] std::size_t ticks_skipped() const { return ticks_skipped_; }
@@ -91,10 +125,28 @@ class ClusterManager {
   /// VMs the *last* plan could not place (left resident where they were —
   /// the explicit-unplaced contract of consolidation::place_ffd).
   [[nodiscard]] std::size_t last_plan_unplaced() const { return last_plan_unplaced_; }
+  /// Consolidation passes skipped by the unchanged-tick early-out.
+  [[nodiscard]] std::size_t plans_skipped() const { return plans_skipped_; }
+  /// Ticks that actually ran the consolidation pass, and the total wall
+  /// time they spent in it (spec sync + plan + issuance) — the scale
+  /// bench's planner-ns-per-tick gate divides these.
+  [[nodiscard]] std::size_t planning_ticks() const { return planning_ticks_; }
+  [[nodiscard]] std::uint64_t planner_ns() const { return planner_ns_; }
+  /// Events that coalesced into an already-pending one before a tick.
+  [[nodiscard]] std::size_t events_coalesced() const { return events_coalesced_; }
+  [[nodiscard]] const consolidation::HostBookStats& book_stats() const {
+    return book_.stats();
+  }
 
  private:
   void recover_orphans(common::SimTime now, Cluster& cluster);
   void apply_dvfs(Cluster& cluster);
+  /// Seeds the book on first use, then reconciles the pending dirty set.
+  void sync_book(const Cluster& cluster);
+  [[nodiscard]] static consolidation::HostSpec plan_host_spec(const Cluster& cluster,
+                                                              HostId host);
+  [[nodiscard]] static consolidation::VmSpec plan_vm_spec(const Cluster& cluster,
+                                                          GlobalVmId vm);
 
   struct RetryState {
     std::size_t attempts = 0;
@@ -110,6 +162,20 @@ class ClusterManager {
   std::size_t restarts_issued_ = 0;
   std::size_t restarts_abandoned_ = 0;
   std::size_t last_plan_unplaced_ = 0;
+
+  // Incremental-planning state.
+  consolidation::HostBook book_;
+  bool book_seeded_ = false;
+  std::vector<std::uint8_t> in_book_;        // per VM id: live in the book
+  std::set<GlobalVmId> pending_vms_;         // ordered: deterministic replay
+  std::set<HostId> pending_crashes_;
+  std::uint64_t last_version_ = 0;
+  bool have_version_ = false;
+  bool converged_ = false;
+  std::size_t plans_skipped_ = 0;
+  std::size_t planning_ticks_ = 0;
+  std::uint64_t planner_ns_ = 0;
+  std::size_t events_coalesced_ = 0;
 };
 
 }  // namespace pas::cluster

@@ -22,7 +22,9 @@ Host::Host(HostConfig config, std::unique_ptr<Scheduler> scheduler)
 Host::~Host() = default;
 
 common::VmId Host::add_vm(VmConfig config, std::unique_ptr<wl::Workload> workload) {
-  if (tasks_installed_) throw std::logic_error("Host: add_vm after run started");
+  if (advancing_.load(std::memory_order_relaxed))
+    throw std::logic_error("Host: add_vm while the host is advancing "
+                           "(cross-host mutation must wait for the segment boundary)");
   if (workload == nullptr) throw std::invalid_argument("Host: workload required");
   const auto id = static_cast<common::VmId>(vms_.size());
   Vm vm;
@@ -35,6 +37,20 @@ common::VmId Host::add_vm(VmConfig config, std::unique_ptr<wl::Workload> workloa
   saturated_last_window_.push_back(false);
   vm_ids_.push_back(id);
   vms_.push_back(std::move(vm));
+  if (tasks_installed_) {
+    // Mid-run arrival: a slot created between segments. Seed its runnable
+    // tracking as "just ran, hint expired" so the next refresh polls it,
+    // widen the trace (old rows pad with zeros to the new width), and
+    // re-seat the view — its spans over vm_ids_/initial_credits_ may have
+    // dangled on the push_back reallocations above.
+    wl_runnable_.push_back(0);
+    wl_hint_.push_back(common::SimTime{});
+    wl_ran_.push_back(1);
+    active_dirty_ = true;
+    trace_->grow_vm_count(vms_.size());
+    view_ = HostView{&cpufreq_, &monitor_, scheduler_.get(), vm_ids_, initial_credits_};
+    if (controller_) controller_->attach(view_);
+  }
   return id;
 }
 

@@ -87,7 +87,13 @@ class Host {
   Host(const Host&) = delete;
   Host& operator=(const Host&) = delete;
 
-  /// Adds a VM before the first run_until call. Returns its dense id.
+  /// Adds a VM and returns its dense id. Callable before the first
+  /// run_until AND between segments of a running host (a cluster creating
+  /// a migration/recovery slot lazily): the mid-run path grows the
+  /// runnable-tracking arrays, widens the trace recorder (historical rows
+  /// pad with zeros) and re-seats the controller view. Like every
+  /// cross-host mutation, it must wait for the segment boundary — calling
+  /// it while the host is advancing throws.
   common::VmId add_vm(VmConfig config, std::unique_ptr<wl::Workload> workload);
 
   /// Installs a DVFS governor (optional — PAS runs without one).

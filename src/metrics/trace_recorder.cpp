@@ -1,6 +1,8 @@
 #include "metrics/trace_recorder.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 #include "common/csv.hpp"
 
@@ -16,6 +18,23 @@ void TraceRecorder::reserve(std::size_t rows) {
   vm_absolute_.reserve(total * vm_count_);
   vm_credit_.reserve(total * vm_count_);
   vm_saturated_.reserve(total * vm_count_);
+}
+
+void TraceRecorder::grow_vm_count(std::size_t vm_count) {
+  if (vm_count < vm_count_)
+    throw std::invalid_argument("TraceRecorder: cannot shrink vm_count");
+  if (vm_count == vm_count_) return;
+  auto regrid = [&](std::vector<double>& col) {
+    std::vector<double> wide(t_.size() * vm_count, 0.0);
+    for (std::size_t row = 0; row < t_.size(); ++row)
+      std::copy_n(col.data() + row * vm_count_, vm_count_, wide.data() + row * vm_count);
+    col = std::move(wide);
+  };
+  regrid(vm_global_);
+  regrid(vm_absolute_);
+  regrid(vm_credit_);
+  regrid(vm_saturated_);
+  vm_count_ = vm_count;
 }
 
 void TraceRecorder::append(common::SimTime t, double freq_mhz, double global_load_pct,

@@ -58,6 +58,11 @@ class TraceRecorder {
   /// geometrically regardless).
   void reserve(std::size_t rows);
 
+  /// Widens the per-VM columns to `vm_count` mid-recording (a host gained a
+  /// slot): historical rows are padded with 0.0 in the new columns, so
+  /// every row — old and new — reads at the final width. Shrinking throws.
+  void grow_vm_count(std::size_t vm_count);
+
   /// Read-only view of one recorded row; spans point into the recorder's
   /// columns and are invalidated by the next append.
   struct SampleView {

@@ -84,6 +84,17 @@ struct ScenarioSpec {
   std::vector<ScriptedMove> script;
 };
 
+/// Size knob for draw_scenario: extra hosts and VMs appended on top of the
+/// historical 2..4-host / 3..10-VM draw. All extension draws happen after
+/// EVERY historical draw, so for any (seed, hetero, trace_mix) the sized
+/// scenario extends the unsized one — same hosts prefix, same classes
+/// prefix, same VMs prefix, same manager and script — a property
+/// ClusterScaleTest.SizeKnobPreservesHistoricalPrefix pins.
+struct ScenarioSize {
+  std::size_t hosts = 0;  ///< hosts appended beyond the drawn base fleet
+  std::size_t vms = 0;    ///< VMs appended, homed across the FULL fleet
+};
+
 /// `hetero` additionally draws each host's platform class from the fleet
 /// catalog (ladders, power models, memory and NUMA layout all mixed). The
 /// extra draws happen after the shared prefix, so hetero=false reproduces
@@ -91,9 +102,10 @@ struct ScenarioSpec {
 /// the VMs into wl::TraceReplay over random step-function demand series;
 /// those draws are appended after EVERYTHING else (including the hetero
 /// block and the migration script), so the historical seeds are again
-/// unchanged.
+/// unchanged. `size` scales the fleet afterwards (see ScenarioSize).
 inline ScenarioSpec draw_scenario(std::uint64_t seed, bool hetero = false,
-                                  bool trace_mix = false) {
+                                  bool trace_mix = false,
+                                  const ScenarioSize& size = {}) {
   using common::msec;
   using common::seconds;
   using common::SimTime;
@@ -176,6 +188,39 @@ inline ScenarioSpec draw_scenario(std::uint64_t seed, bool hetero = false,
                     static_cast<std::uint64_t>(horizon_s) * 1'000'000 / 4));
       }
       v.trace_points.push_back({common::usec(t_us), 0.0, 0.0});
+    }
+  }
+
+  if (size.hosts > 0 || size.vms > 0) {
+    // Scale extension: appended after the whole historical sequence
+    // (including the trace_mix re-roll) so pinned seeds stay bit-identical
+    // as a prefix of the sized scenario.
+    const std::size_t first_extra = s.hosts;
+    s.hosts += size.hosts;
+    if (hetero) {
+      const std::vector<platform::HostClass> catalog = platform::fleet_catalog();
+      for (std::size_t h = first_extra; h < s.hosts; ++h)
+        s.classes.push_back(catalog[rng.next_below(catalog.size())]);
+    }
+    for (std::size_t i = 0; i < size.vms; ++i) {
+      VmSpecF v;
+      v.kind = static_cast<WlKind>(rng.next_below(5));
+      v.credit = 2.0 + 3.0 * static_cast<double>(rng.next_below(10));
+      v.memory_mb = 128.0 * static_cast<double>(1 + rng.next_below(8));
+      v.dirty_mb_per_s = 10.0 + 20.0 * static_cast<double>(rng.next_below(10));
+      v.home = static_cast<HostId>(rng.next_below(s.hosts));  // full fleet
+      v.seed = seed * 131 + s.vms.size();
+      v.poisson = rng.chance(0.5);
+      const auto from_s = static_cast<std::int64_t>(rng.next_below(horizon_s / 2));
+      const auto len_s = 10 + static_cast<std::int64_t>(rng.next_below(horizon_s / 2));
+      v.from = seconds(from_s);
+      v.until = seconds(from_s + len_s);
+      v.rate = wl::WebApp::rate_for_demand(std::min(v.credit, 15.0),
+                                           common::mf_usec(10'000)) *
+               rng.uniform(0.5, 1.5);
+      v.pi_work = common::mf_seconds(rng.uniform(0.5, 4.0));
+      v.pi_start = seconds(static_cast<std::int64_t>(rng.next_below(horizon_s / 2)));
+      s.vms.push_back(v);
     }
   }
   return s;

@@ -1,0 +1,274 @@
+// Differential-equivalence suite for the delta-driven planner.
+//
+// The HostBook's contract is structural: plan() must be BYTE-identical to a
+// from-scratch place_ffd over the same dense inputs, whichever internal
+// path (cached / delta merge-walk / full-rebuild fallback) served it. This
+// suite replays seeded mutation sequences — add/remove/resize VM, crash and
+// restore host, class flips — against a HostBook and a shadow spec map,
+// asserting exact equality with the oracle after EVERY step, over uniform
+// and heterogeneous fleets and with efficient-first packing both on and
+// off. The corpus is 120 sequences (≥100 per the issue), plus targeted
+// tests for the cached path, the fallback triggers and validation.
+
+#include "consolidation/host_book.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "consolidation/consolidation.hpp"
+#include "platform/host_class.hpp"
+
+namespace pas::consolidation {
+namespace {
+
+VmSpec make_vm(std::mt19937& rng) {
+  static const double kMems[] = {128, 256, 512, 512, 1024, 1024, 2048, 3072, 4096, 6144};
+  VmSpec v;
+  v.name = "vm";
+  v.memory_mb = kMems[rng() % (sizeof(kMems) / sizeof(kMems[0]))];
+  v.credit = 5.0 + static_cast<double>(rng() % 16) * 5.0;
+  v.cpu_demand_pct = v.credit * 0.5;
+  return v;
+}
+
+HostSpec make_host(std::mt19937& rng, bool hetero) {
+  if (!hetero) return platform::to_host_spec(platform::optiplex_755());
+  const auto catalog = platform::fleet_catalog();
+  return platform::to_host_spec(catalog[rng() % catalog.size()]);
+}
+
+/// The oracle: dense spec lists in ascending-id order, planned from
+/// scratch. Asserts assignment, hosts_used and unplaced are exactly equal,
+/// and that the book's dense maps are the ascending active ids.
+void expect_matches_full(HostBook& book, const std::map<std::size_t, VmSpec>& vms,
+                         const std::map<std::size_t, HostSpec>& hosts,
+                         const FfdOptions& opt) {
+  std::vector<VmSpec> dense_vms;
+  std::vector<HostSpec> dense_hosts;
+  std::vector<std::size_t> vm_ids;
+  std::vector<std::size_t> host_ids;
+  for (const auto& [id, spec] : vms) {
+    vm_ids.push_back(id);
+    dense_vms.push_back(spec);
+  }
+  for (const auto& [id, spec] : hosts) {
+    host_ids.push_back(id);
+    dense_hosts.push_back(spec);
+  }
+  const Placement want = place_ffd(dense_vms, dense_hosts, opt);
+  const Placement& got = book.plan();
+  ASSERT_EQ(got.assignment, want.assignment);
+  ASSERT_EQ(got.hosts_used, want.hosts_used);
+  ASSERT_EQ(got.unplaced, want.unplaced);
+  ASSERT_EQ(book.planned_vms(), vm_ids);
+  ASSERT_EQ(book.planned_hosts(), host_ids);
+}
+
+struct SequenceTally {
+  std::size_t delta_plans = 0;
+  std::size_t full_rebuilds = 0;
+  std::size_t cached_plans = 0;
+};
+
+SequenceTally run_sequence(std::uint32_t seed, bool hetero, bool efficient_first) {
+  std::mt19937 rng(seed);
+  FfdOptions opt;
+  opt.efficient_first = efficient_first;
+  HostBook book(opt);
+  std::map<std::size_t, VmSpec> vms;
+  std::map<std::size_t, HostSpec> hosts;
+  std::map<std::size_t, HostSpec> crashed;  // removed hosts, restorable
+  std::size_t next_vm = 0;
+  std::size_t next_host = 0;
+
+  const std::size_t host_n = 6 + rng() % 7;
+  const std::size_t vm_n = 15 + rng() % 26;
+  for (std::size_t i = 0; i < host_n; ++i) {
+    const HostSpec spec = make_host(rng, hetero);
+    hosts.emplace(next_host, spec);
+    book.add_host(next_host, spec);
+    ++next_host;
+  }
+  for (std::size_t i = 0; i < vm_n; ++i) {
+    const VmSpec spec = make_vm(rng);
+    vms.emplace(next_vm, spec);
+    book.add_vm(next_vm, spec);
+    ++next_vm;
+  }
+  expect_matches_full(book, vms, hosts, opt);
+
+  auto random_live = [&](const auto& live) {
+    auto it = live.begin();
+    std::advance(it, rng() % live.size());
+    return it->first;
+  };
+  auto mutate_vm_once = [&] {
+    const std::uint32_t op = rng() % 3;
+    if (op == 0 || vms.empty()) {
+      const VmSpec spec = make_vm(rng);
+      vms.emplace(next_vm, spec);
+      book.add_vm(next_vm, spec);
+      ++next_vm;
+    } else if (op == 1) {
+      const std::size_t id = random_live(vms);
+      vms.erase(id);
+      book.remove_vm(id);
+    } else {
+      const std::size_t id = random_live(vms);
+      // Resize; occasionally to the identical spec (dirty but unchanged).
+      const VmSpec spec = (rng() % 5 == 0) ? vms.at(id) : make_vm(rng);
+      vms.at(id) = spec;
+      book.update_vm(id, spec);
+    }
+  };
+
+  for (std::size_t step = 0; step < 32; ++step) {
+    const std::uint32_t roll = rng() % 100;
+    if (roll < 55) {
+      mutate_vm_once();
+    } else if (roll < 70) {
+      // A burst of VM churn between plans: dirty marks must coalesce and
+      // the single delta walk must absorb them all.
+      const std::size_t burst = 2 + rng() % 3;
+      for (std::size_t k = 0; k < burst; ++k) mutate_vm_once();
+    } else if (roll < 78) {
+      // Crash a host (forces the full-rebuild fallback next plan).
+      if (hosts.size() > 1) {
+        const std::size_t id = random_live(hosts);
+        crashed.emplace(id, hosts.at(id));
+        hosts.erase(id);
+        book.remove_host(id);
+      }
+    } else if (roll < 86) {
+      // Restore a crashed host, or grow the fleet.
+      if (!crashed.empty()) {
+        const std::size_t id = random_live(crashed);
+        hosts.emplace(id, crashed.at(id));
+        book.add_host(id, crashed.at(id));
+        crashed.erase(id);
+      } else {
+        const HostSpec spec = make_host(rng, hetero);
+        hosts.emplace(next_host, spec);
+        book.add_host(next_host, spec);
+        ++next_host;
+      }
+    } else if (roll < 92) {
+      // Class flip: re-spec a live host in place.
+      const std::size_t id = random_live(hosts);
+      const HostSpec spec = make_host(rng, hetero);
+      hosts.at(id) = spec;
+      book.update_host(id, spec);
+    }
+    // else: no mutation — the plan below must come from the cache.
+    expect_matches_full(book, vms, hosts, opt);
+  }
+  const HostBookStats& st = book.stats();
+  return {st.delta_plans, st.full_rebuilds, st.cached_plans};
+}
+
+TEST(ConsolidationDeltaTest, UniformCorpus) {
+  SequenceTally total;
+  for (std::uint32_t seed = 1; seed <= 60; ++seed) {
+    SCOPED_TRACE(seed);
+    const SequenceTally t = run_sequence(seed, /*hetero=*/false,
+                                         /*efficient_first=*/seed % 4 != 0);
+    total.delta_plans += t.delta_plans;
+    total.full_rebuilds += t.full_rebuilds;
+    total.cached_plans += t.cached_plans;
+  }
+  // The corpus must have exercised every plan path, or the equivalence
+  // claim is vacuous.
+  EXPECT_GT(total.delta_plans, 0u);
+  EXPECT_GT(total.full_rebuilds, 0u);
+  EXPECT_GT(total.cached_plans, 0u);
+}
+
+TEST(ConsolidationDeltaTest, HeteroCorpus) {
+  SequenceTally total;
+  for (std::uint32_t seed = 61; seed <= 120; ++seed) {
+    SCOPED_TRACE(seed);
+    const SequenceTally t = run_sequence(seed, /*hetero=*/true,
+                                         /*efficient_first=*/seed % 4 != 0);
+    total.delta_plans += t.delta_plans;
+    total.full_rebuilds += t.full_rebuilds;
+    total.cached_plans += t.cached_plans;
+  }
+  EXPECT_GT(total.delta_plans, 0u);
+  EXPECT_GT(total.full_rebuilds, 0u);
+  EXPECT_GT(total.cached_plans, 0u);
+}
+
+TEST(ConsolidationDeltaTest, CachedPlanIsVerbatim) {
+  HostBook book;
+  book.add_host(0, platform::to_host_spec(platform::optiplex_755()));
+  VmSpec v;
+  v.credit = 10;
+  v.memory_mb = 512;
+  book.add_vm(0, v);
+  const Placement first = book.plan();
+  const Placement& again = book.plan();
+  EXPECT_EQ(again.assignment, first.assignment);
+  EXPECT_EQ(book.stats().cached_plans, 1u);
+  EXPECT_EQ(book.stats().full_rebuilds, 1u);
+}
+
+TEST(ConsolidationDeltaTest, HostMutationFallsBackToFullRebuild) {
+  HostBook book;
+  const HostSpec h = platform::to_host_spec(platform::optiplex_755());
+  book.add_host(0, h);
+  book.add_host(1, h);
+  VmSpec v;
+  v.credit = 10;
+  v.memory_mb = 512;
+  book.add_vm(0, v);
+  (void)book.plan();
+  ASSERT_EQ(book.stats().full_rebuilds, 1u);
+
+  book.add_vm(1, v);
+  (void)book.plan();
+  EXPECT_EQ(book.stats().delta_plans, 1u);  // VM-only change: delta path
+
+  book.update_host(1, platform::to_host_spec(platform::xeon_e5_2620()));
+  (void)book.plan();
+  EXPECT_EQ(book.stats().full_rebuilds, 2u);  // class flip: fallback
+}
+
+TEST(ConsolidationDeltaTest, BurstOfMarksCoalesces) {
+  HostBook book;
+  book.add_host(0, platform::to_host_spec(platform::optiplex_755()));
+  VmSpec v;
+  v.credit = 10;
+  v.memory_mb = 512;
+  book.add_vm(0, v);
+  (void)book.plan();
+  v.memory_mb = 640;
+  book.update_vm(0, v);
+  v.memory_mb = 768;
+  book.update_vm(0, v);  // second mark on the same pending VM
+  EXPECT_EQ(book.stats().coalesced_marks, 1u);
+}
+
+TEST(ConsolidationDeltaTest, ValidationMirrorsPlaceFfd) {
+  HostBook book;
+  HostSpec bad_host;
+  bad_host.numa_nodes = 0;
+  EXPECT_THROW(book.add_host(0, bad_host), std::invalid_argument);
+  bad_host.numa_nodes = 2;
+  bad_host.numa_spill_penalty = -0.1;
+  EXPECT_THROW(book.add_host(0, bad_host), std::invalid_argument);
+  VmSpec bad_vm;
+  bad_vm.memory_mb = -1;
+  EXPECT_THROW(book.add_vm(0, bad_vm), std::invalid_argument);
+  EXPECT_THROW(book.remove_vm(7), std::invalid_argument);
+  EXPECT_THROW(book.remove_host(7), std::invalid_argument);
+  book.add_host(3, platform::to_host_spec(platform::optiplex_755()));
+  EXPECT_THROW(book.add_host(3, platform::to_host_spec(platform::optiplex_755())),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pas::consolidation

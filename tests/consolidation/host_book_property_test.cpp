@@ -1,0 +1,109 @@
+// Property test for the HostBook's packing-order index: random
+// interleavings of host insert/erase/update checked after every mutation
+// against a naive oracle that re-sorts a plain vector. The documented
+// deterministic order is ascending packing_cost() with ties broken by
+// ascending host id — the ties matter (a uniform fleet ties everywhere),
+// so the spec generator deliberately reuses a handful of identical specs.
+
+#include "consolidation/host_book.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "consolidation/consolidation.hpp"
+#include "platform/host_class.hpp"
+
+namespace pas::consolidation {
+namespace {
+
+std::vector<HostSpec> spec_pool() {
+  std::vector<HostSpec> pool;
+  for (const auto& cls : platform::fleet_catalog())
+    pool.push_back(platform::to_host_spec(cls));
+  // Extra memory variants of the default spec: distinct costs from one
+  // power model, plus exact duplicates to force packing_cost ties.
+  for (const double mem : {2048.0, 4096.0, 4096.0, 8192.0}) {
+    HostSpec h;
+    h.memory_mb = mem;
+    pool.push_back(h);
+  }
+  return pool;
+}
+
+std::vector<std::size_t> oracle_order(const std::map<std::size_t, HostSpec>& hosts) {
+  std::vector<std::size_t> ids;
+  ids.reserve(hosts.size());
+  for (const auto& [id, spec] : hosts) ids.push_back(id);
+  std::sort(ids.begin(), ids.end(), [&](std::size_t a, std::size_t b) {
+    const double ca = packing_cost(hosts.at(a));
+    const double cb = packing_cost(hosts.at(b));
+    if (ca != cb) return ca < cb;
+    return a < b;  // the documented deterministic tie-break
+  });
+  return ids;
+}
+
+TEST(HostBookPropertyTest, PackingOrderMatchesResortedOracle) {
+  const std::vector<HostSpec> pool = spec_pool();
+  for (std::uint32_t seed = 1; seed <= 40; ++seed) {
+    SCOPED_TRACE(seed);
+    std::mt19937 rng(seed);
+    HostBook book;
+    std::map<std::size_t, HostSpec> hosts;
+    std::size_t next_id = 0;
+    for (std::size_t step = 0; step < 64; ++step) {
+      const std::uint32_t op = rng() % 3;
+      if (op == 0 || hosts.empty()) {
+        const HostSpec& spec = pool[rng() % pool.size()];
+        hosts.emplace(next_id, spec);
+        book.add_host(next_id, spec);
+        ++next_id;
+      } else if (op == 1) {
+        auto it = hosts.begin();
+        std::advance(it, rng() % hosts.size());
+        book.remove_host(it->first);
+        hosts.erase(it);
+      } else {
+        auto it = hosts.begin();
+        std::advance(it, rng() % hosts.size());
+        const HostSpec& spec = pool[rng() % pool.size()];
+        it->second = spec;
+        book.update_host(it->first, spec);
+      }
+      ASSERT_EQ(book.packing_order(), oracle_order(hosts));
+      ASSERT_EQ(book.host_count(), hosts.size());
+    }
+  }
+}
+
+TEST(HostBookPropertyTest, TiesBreakByAscendingId) {
+  // Identical specs everywhere: cost ties on every pair, so the order must
+  // be exactly ascending id — including after an out-of-order insert.
+  HostBook book;
+  HostSpec h;
+  book.add_host(5, h);
+  book.add_host(1, h);
+  book.add_host(3, h);
+  EXPECT_EQ(book.packing_order(), (std::vector<std::size_t>{1, 3, 5}));
+  book.remove_host(3);
+  book.add_host(0, h);
+  EXPECT_EQ(book.packing_order(), (std::vector<std::size_t>{0, 1, 5}));
+}
+
+TEST(HostBookPropertyTest, IdReuseAfterRemoveIsAllowed) {
+  HostBook book;
+  HostSpec h;
+  book.add_host(0, h);
+  book.remove_host(0);
+  book.add_host(0, h);
+  EXPECT_TRUE(book.has_host(0));
+  EXPECT_EQ(book.packing_order(), (std::vector<std::size_t>{0}));
+}
+
+}  // namespace
+}  // namespace pas::consolidation

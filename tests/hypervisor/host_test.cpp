@@ -94,13 +94,27 @@ TEST(HostTest, TraceSamplesRecorded) {
   EXPECT_NEAR(host.trace().samples().back().vm_global_pct[0], 100.0, 1.0);
 }
 
-TEST(HostTest, AddVmAfterRunThrows) {
-  Host host{quiet_config(), std::make_unique<sched::CreditScheduler>()};
+TEST(HostTest, AddVmBetweenSegmentsJoinsTheRun) {
+  // Mid-run add_vm is a segment-boundary operation (a cluster creating a
+  // migration slot lazily): the new VM joins scheduling, its trace history
+  // pads with zeros, and earlier residents are unaffected.
+  HostConfig hc = quiet_config();
+  hc.trace_stride = seconds(1);
+  Host host{hc, std::make_unique<sched::CreditScheduler>()};
   VmConfig cfg;
-  cfg.credit = 100.0;
-  host.add_vm(cfg, std::make_unique<wl::BusyLoop>());
-  host.run_until(seconds(1));
-  EXPECT_THROW(host.add_vm(cfg, std::make_unique<wl::BusyLoop>()), std::logic_error);
+  cfg.credit = 40.0;
+  const auto first = host.add_vm(cfg, std::make_unique<wl::BusyLoop>());
+  host.run_until(seconds(2));
+  const auto late = host.add_vm(cfg, std::make_unique<wl::BusyLoop>());
+  host.run_until(seconds(4));
+
+  EXPECT_GT(host.vm(late).total_work, common::Work{});
+  EXPECT_GT(host.vm(first).total_work, host.vm(late).total_work);
+  // Every trace row spans the final VM count; rows before the add are
+  // zero-padded for the late slot.
+  for (const auto& sample : host.trace().samples())
+    ASSERT_EQ(sample.vm_global_pct.size(), 2u);
+  EXPECT_DOUBLE_EQ(host.trace().samples().front().vm_global_pct[late], 0.0);
 }
 
 TEST(HostTest, SaturationDetection) {
