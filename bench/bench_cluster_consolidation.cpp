@@ -54,6 +54,16 @@
 // `chaos{...}` JSON block. The chaos runs are separate from the policy
 // measurements above — fault-free numbers stay fault-free.
 //
+// --commands=FILE additionally runs the scenario under an external command
+// stream (ctl::parse_tasks over a JSON task log; see src/control/task.hpp)
+// fast-vs-slow (and at --threads if > 1). The control plane is held to the
+// trace-replay contract: byte-identical cluster state AND result logs
+// across engines, a byte-identical result log on re-record, and a
+// byte-exact annotation round trip (result log → no-op annotate stream →
+// re-record). The combined `control.replay_identical` verdict is gated
+// always, smoke included; task/acceptance counts land in the
+// `control{...}` JSON block.
+//
 // --scale-hosts=N (with --scale-vms, --scale-horizon) adds the SCALE tier:
 // the same hosting scenario at fleet size (the CI gate runs 1000 hosts x
 // 10000 VMs), executed twice — the delta-driven incremental planner
@@ -72,7 +82,7 @@
 //          [--require-rate=RATE] [--threads=N]
 //          [--require-parallel-speedup=X]
 //          [--fleet=uniform|mixed] [--fleet-seed=N] [--require-hetero-saving]
-//          [--trace=DIR] [--chaos-seed=N]
+//          [--trace=DIR] [--chaos-seed=N] [--commands=FILE]
 //          [--scale-hosts=N] [--scale-vms=N] [--scale-horizon=SECONDS]
 //          [--require-scale-rate=RATE] [--require-planner-speedup=X]
 //          [--require-scale-planner-ns=NS]
@@ -82,12 +92,16 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "cluster/cluster.hpp"
 #include "cluster/cluster_manager.hpp"
 #include "common/flags.hpp"
 #include "common/thread_pool.hpp"
+#include "control/control_plane.hpp"
+#include "control/task.hpp"
 #include "platform/host_class.hpp"
 #include "scenario/hosting_cluster.hpp"
 #include "workload/trace_replay.hpp"
@@ -409,15 +423,10 @@ int main(int argc, char** argv) {
       restarts = mgr->restarts_issued();
       abandoned = mgr->restarts_abandoned();
     }
-    double rec_mean_s = 0.0;
-    double rec_max_s = 0.0;
-    for (const auto& r : ch_fast->recoveries()) {
-      const double lat = r.latency().sec();
-      rec_mean_s += lat;
-      rec_max_s = std::max(rec_max_s, lat);
-    }
-    if (!ch_fast->recoveries().empty())
-      rec_mean_s /= static_cast<double>(ch_fast->recoveries().size());
+    // Recovery-latency SLO stats (orphan → running again): p50/mean/max
+    // over the run's VmRecovery records.
+    const pas::cluster::RecoveryStats rec =
+        pas::cluster::summarize_recoveries(ch_fast->recoveries());
 
     std::printf("\n  chaos (seed %llu): %zu fault(s) drawn — %zu crash(es), "
                 "%zu abort(s), %zu degrade(s), %zu brownout(s)\n",
@@ -431,10 +440,10 @@ int main(int argc, char** argv) {
                 inj.crashes_fired(), inj.aborts_fired(), inj.link_degrades_fired(),
                 brownout_skipped);
     std::printf("  VMs: %zu/%zu survived, %zu lost; %zu recovery restart(s) "
-                "(mean %.1f s, max %.1f s), %zu abandoned\n",
+                "(p50 %.1f s, mean %.1f s, max %.1f s), %zu abandoned\n",
                 ch_fast->running_vm_count(), static_cast<std::size_t>(ch_fast->vm_count()),
-                ch_fast->lost_vm_count(), ch_fast->recoveries().size(), rec_mean_s,
-                rec_max_s, abandoned);
+                ch_fast->lost_vm_count(), rec.count, rec.p50.sec(), rec.mean_s,
+                rec.max.sec(), abandoned);
     std::printf("  identity under faults (fast/slow%s): %s\n",
                 threads > 1 ? "/parallel" : "",
                 chaos_identical ? "yes" : "NO — BUG");
@@ -453,17 +462,115 @@ int main(int argc, char** argv) {
                   "    \"vms_lost\": %zu,\n"
                   "    \"recovery_restarts\": %zu,\n"
                   "    \"recovery_abandoned\": %zu,\n"
+                  "    \"recovery_latency_p50_s\": %.6f,\n"
                   "    \"recovery_latency_mean_s\": %.3f,\n"
-                  "    \"recovery_latency_max_s\": %.3f,\n"
+                  "    \"recovery_latency_max_s\": %.6f,\n"
                   "    \"restarts_issued\": %zu,\n"
                   "    \"chaos_identical\": %s\n  },\n",
                   static_cast<unsigned long long>(chaos_seed), inj.plan().events.size(),
                   inj.crashes_fired(), inj.aborts_fired(), inj.link_degrades_fired(),
                   brownout_skipped, static_cast<std::size_t>(ch_fast->vm_count()),
-                  ch_fast->running_vm_count(), ch_fast->lost_vm_count(),
-                  ch_fast->recoveries().size(), abandoned, rec_mean_s, rec_max_s,
-                  restarts, chaos_identical ? "true" : "false");
+                  ch_fast->running_vm_count(), ch_fast->lost_vm_count(), rec.count,
+                  abandoned, rec.p50.sec(), rec.mean_s, rec.max.sec(), restarts,
+                  chaos_identical ? "true" : "false");
     chaos_json = buf;
+  }
+
+  // --- control plane: an external command stream over the same fleet ---
+  // --commands=FILE parses a JSON task log (ctl::parse_tasks, strict), runs
+  // the scenario under it fast-vs-slow (and at --threads if > 1), and holds
+  // the control plane to the PR 5 trace contract: cluster state AND the
+  // serialized result log must be byte-identical across engines, and the
+  // record→replay→re-record loop must close byte-exactly — re-running the
+  // same file reproduces the same result log, and re-injecting the result
+  // log as a no-op annotation stream re-records itself verbatim. The
+  // combined verdict is `control.replay_identical`, gated always (smoke
+  // included) like every identity contract.
+  const std::string commands_file = flags.get_or("commands", "");
+  bool control_replay_identical = true;
+  std::string control_json;
+  if (!commands_file.empty()) {
+    std::ifstream cmd_in(commands_file, std::ios::binary);
+    if (!cmd_in) {
+      std::fprintf(stderr, "bench_cluster_consolidation: cannot open %s\n",
+                   commands_file.c_str());
+      return 2;
+    }
+    std::ostringstream cmd_text;
+    cmd_text << cmd_in.rdbuf();
+    const std::vector<pas::ctl::Task> tasks =
+        pas::ctl::parse_tasks(cmd_text.str(), commands_file, {hosts, vms});
+
+    auto cfg_ctl = base;
+    cfg_ctl.commands = tasks;
+
+    auto ct_slow_cfg = cfg_ctl;
+    ct_slow_cfg.fast_path = false;
+    auto ct_slow = pas::scenario::build_hosting_cluster(ct_slow_cfg);
+    ct_slow->run_until(horizon);
+
+    auto ct_fast = pas::scenario::build_hosting_cluster(cfg_ctl);
+    ct_fast->run_until(horizon);
+    const std::string result_log = ct_fast->control()->result_log();
+    control_replay_identical = clusters_identical(*ct_slow, *ct_fast) &&
+                               ct_slow->control()->result_log() == result_log;
+
+    if (threads > 1) {
+      auto ct_par_cfg = cfg_ctl;
+      ct_par_cfg.threads = threads;
+      auto ct_par = pas::scenario::build_hosting_cluster(ct_par_cfg);
+      ct_par->run_until(horizon);
+      control_replay_identical = control_replay_identical &&
+                                 clusters_identical(*ct_fast, *ct_par) &&
+                                 ct_par->control()->result_log() == result_log;
+    }
+
+    // Re-record: the same file through a fresh cluster must reproduce the
+    // result log byte-for-byte.
+    {
+      auto ct_re = pas::scenario::build_hosting_cluster(cfg_ctl);
+      ct_re->run_until(horizon);
+      control_replay_identical = control_replay_identical &&
+                                 ct_re->control()->result_log() == result_log;
+    }
+
+    // Close the loop: the result log re-injected as a no-op annotation
+    // stream must re-record itself verbatim (annotation streams are a
+    // fixed point of record→re-inject — ctl::results_to_annotations).
+    {
+      const std::string notes =
+          pas::ctl::results_to_annotations(ct_fast->control()->results());
+      auto cfg_notes = base;
+      cfg_notes.commands = pas::ctl::parse_tasks(notes, "<annotations>", {hosts, vms});
+      auto ct_notes = pas::scenario::build_hosting_cluster(cfg_notes);
+      ct_notes->run_until(horizon);
+      control_replay_identical =
+          control_replay_identical &&
+          pas::ctl::results_to_annotations(ct_notes->control()->results()) == notes;
+    }
+
+    const pas::ctl::ControlPlane& plane = *ct_fast->control();
+    std::printf("\n  control plane (%zu task(s) from %s):\n", tasks.size(),
+                commands_file.c_str());
+    std::printf("  fired %zu: %zu ok, %zu rejected, %zu superseded   "
+                "replay identical: %s\n",
+                plane.results().size(), plane.accepted(), plane.rejected(),
+                plane.superseded(),
+                control_replay_identical ? "yes" : "NO — BUG");
+
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    \"tasks\": %zu,\n"
+                  "    \"fired\": %zu,\n"
+                  "    \"accepted\": %zu,\n"
+                  "    \"rejected\": %zu,\n"
+                  "    \"superseded\": %zu,\n"
+                  "    \"replay_identical\": %s\n  },\n",
+                  tasks.size(), plane.results().size(), plane.accepted(),
+                  plane.rejected(), plane.superseded(),
+                  control_replay_identical ? "true" : "false");
+    control_json =
+        "  \"control\": {\n    \"file\": \"" + json_escape(commands_file) + "\",\n" + buf;
   }
 
   // --- scale: the delta-driven incremental planner at fleet size ---
@@ -607,7 +714,7 @@ int main(int argc, char** argv) {
     js << buf;
     // The optional blocks embed unbounded strings (class names, the
     // --trace path): streamed, not snprintf'd, so they cannot truncate.
-    js << hetero_json << trace_json << chaos_json << scale_json;
+    js << hetero_json << trace_json << chaos_json << control_json << scale_json;
     std::snprintf(buf, sizeof(buf),
                   "  \"migrations\": %zu,\n"
                   "  \"hosts_on_final\": %zu\n"
@@ -631,6 +738,11 @@ int main(int argc, char** argv) {
   }
   if (!chaos_identical) {
     std::printf("  FAIL: engines diverged under injected faults\n");
+    return 1;
+  }
+  if (!control_replay_identical) {
+    std::printf("  FAIL: control-plane replay diverged (state, result log, or "
+                "annotation round trip)\n");
     return 1;
   }
   if (!scale_identical) {

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "cluster/cluster_manager.hpp"
+#include "control/control_plane.hpp"
 #include "core/compensation.hpp"
 #include "fault/fault.hpp"
 #include "sched/credit_scheduler.hpp"
@@ -50,6 +51,27 @@ std::vector<platform::HostClass> resolve_classes(const ClusterConfig& cfg) {
 }
 
 }  // namespace
+
+RecoveryStats summarize_recoveries(const std::vector<VmRecovery>& recoveries) {
+  RecoveryStats stats;
+  stats.count = recoveries.size();
+  if (recoveries.empty()) return stats;
+  std::vector<common::SimTime> latencies;
+  latencies.reserve(recoveries.size());
+  double sum_s = 0.0;
+  for (const VmRecovery& r : recoveries) {
+    latencies.push_back(r.latency());
+    sum_s += r.latency().sec();
+  }
+  std::sort(latencies.begin(), latencies.end());
+  // Lower-median nearest rank: an integer-microsecond latency that really
+  // occurred, never an interpolation — the value stays byte-stable however
+  // the recoveries split across engines.
+  stats.p50 = latencies[(latencies.size() - 1) / 2];
+  stats.max = latencies.back();
+  stats.mean_s = sum_s / static_cast<double>(recoveries.size());
+  return stats;
+}
 
 Cluster::Cluster(ClusterConfig config)
     : cfg_(std::move(config)), classes_(resolve_classes(cfg_)), meter_(classes_.size()) {
@@ -105,8 +127,8 @@ GlobalVmId Cluster::add_vm(ClusterVmConfig config, std::unique_ptr<wl::Workload>
   home_slot_.push_back(slot_id);
   vm_slots_.emplace_back();
   vm_state_.push_back(VmState::kRunning);
-  orphan_wl_.emplace_back();
-  orphan_since_.emplace_back();
+  held_wl_.emplace_back();
+  held_since_.emplace_back();
   downtime_.emplace_back();
   migration_count_.push_back(0);
   record_slot(home, gid, slot_id);
@@ -162,6 +184,16 @@ void Cluster::install_manager(std::unique_ptr<ClusterManager> manager) {
 void Cluster::install_faults(std::unique_ptr<fault::FaultInjector> injector) {
   if (started_) throw std::logic_error("Cluster: install_faults after run started");
   injector_ = std::move(injector);
+}
+
+void Cluster::install_control(std::unique_ptr<ctl::ControlPlane> control) {
+  if (started_) throw std::logic_error("Cluster: install_control after run started");
+  control_ = std::move(control);
+}
+
+void Cluster::schedule_at(common::SimTime at, std::function<void(common::SimTime)> fn) {
+  if (started_) throw std::logic_error("Cluster: schedule_at after run started");
+  hooks_.emplace_back(at, std::move(fn));
 }
 
 void Cluster::install_periodic_tasks() {
@@ -291,8 +323,8 @@ bool Cluster::crash_host(HostId host, bool restart_orphans) {
     h.scheduler().import_credit(s, common::SimTime{});
     if (restart_orphans) {
       vm_state_[gid] = VmState::kOrphaned;
-      orphan_wl_[gid] = std::move(workload);
-      orphan_since_[gid] = now_;
+      held_wl_[gid] = std::move(workload);
+      held_since_[gid] = now_;
     } else {
       vm_state_[gid] = VmState::kLost;
     }
@@ -317,7 +349,7 @@ bool Cluster::restart_vm(GlobalVmId vm, HostId to) {
   set_powered(to, true);  // recovery may revive a VOVO-parked host
   hv::Host& dst = *hosts_[to];
   const common::VmId s = ensure_slot(to, vm);
-  (void)dst.swap_workload(s, std::move(orphan_wl_[vm]));
+  (void)dst.swap_workload(s, std::move(held_wl_[vm]));
   const ClusterVmConfig& cfg = vm_cfgs_[vm];
   // Same re-attach contract as a migration's attach: purchased credit
   // compensated for the destination's current P-state — but with an empty
@@ -330,17 +362,59 @@ bool Cluster::restart_vm(GlobalVmId vm, HostId to) {
   vm_state_[vm] = VmState::kRunning;
   ++topology_version_;
   if (manager_) manager_->note_vm_event(vm);
-  const common::SimTime outage = now_ - orphan_since_[vm];
+  const common::SimTime outage = now_ - held_since_[vm];
   if (outage > common::SimTime{})
     sla_.record_window(vm, outage, 0.0, /*saturated=*/true);
-  recoveries_.push_back(VmRecovery{vm, orphan_since_[vm], now_});
+  recoveries_.push_back(VmRecovery{vm, held_since_[vm], now_});
+  return true;
+}
+
+bool Cluster::stop_vm(GlobalVmId vm) {
+  if (vm >= vm_cfgs_.size()) throw std::invalid_argument("Cluster: bad VM id");
+  if (vm_state_[vm] != VmState::kRunning || engine_->in_flight(vm)) return false;
+
+  hv::Host& h = *hosts_[home_[vm]];
+  const common::VmId s = home_slot_[vm];
+  // Same drain as a crash sweep — workload off-host, cap 0, balance gone —
+  // but into the held store on purpose, and with no SLA consequence: the
+  // monitor simply stops sampling a non-running VM (sample_sla's filter).
+  held_wl_[vm] = h.swap_workload(s, std::make_unique<wl::IdleGuest>());
+  h.scheduler().set_cap(s, 0.0);
+  h.scheduler().import_credit(s, common::SimTime{});
+  vm_state_[vm] = VmState::kStopped;
+  ++topology_version_;
+  if (manager_) manager_->note_vm_event(vm);
+  return true;
+}
+
+bool Cluster::start_vm(GlobalVmId vm, HostId to) {
+  if (vm >= vm_cfgs_.size()) throw std::invalid_argument("Cluster: bad VM id");
+  if (to >= hosts_.size()) throw std::invalid_argument("Cluster: bad host id");
+  if (vm_state_[vm] != VmState::kStopped || crashed_[to]) return false;
+
+  set_powered(to, true);  // resuming may revive a VOVO-parked host
+  hv::Host& dst = *hosts_[to];
+  const common::VmId s = ensure_slot(to, vm);
+  (void)dst.swap_workload(s, std::move(held_wl_[vm]));
+  const ClusterVmConfig& cfg = vm_cfgs_[vm];
+  // Re-attach like a recovery restart — compensated purchased credit,
+  // empty balance — but without the SLA outage charge: the interval was a
+  // requested stop, not a violation.
+  dst.scheduler().set_cap(s, core::compensated_credit(cfg.vm.credit, dst.cpu().ladder(),
+                                                      dst.cpu().current_index()));
+  dst.scheduler().import_credit(s, common::SimTime{});
+  home_[vm] = to;
+  home_slot_[vm] = s;
+  vm_state_[vm] = VmState::kRunning;
+  ++topology_version_;
+  if (manager_) manager_->note_vm_event(vm);
   return true;
 }
 
 void Cluster::mark_lost(GlobalVmId vm) {
   if (vm >= vm_cfgs_.size()) throw std::invalid_argument("Cluster: bad VM id");
   if (vm_state_[vm] != VmState::kOrphaned) return;
-  orphan_wl_[vm].reset();
+  held_wl_[vm].reset();
   vm_state_[vm] = VmState::kLost;
   ++topology_version_;
   if (manager_) manager_->note_vm_event(vm);
@@ -446,8 +520,15 @@ void Cluster::run_until(common::SimTime until) {
     // The fault schedule is armed once, here, onto the same queue the
     // periodic tasks use: a fault lands at a fixed (time, insertion-seq)
     // position, so any tie with a manager tick or SLA sample breaks the
-    // same way in every engine — faults never perturb determinism.
+    // same way in every engine — faults never perturb determinism. The
+    // control plane arms after the injector (a command tying a crash
+    // observes the post-crash world), and raw schedule_at hooks arm last,
+    // in call order — the seam the control fuzz test uses to occupy the
+    // exact queue positions ControlPlane::arm would.
     if (injector_) injector_->arm(*this, events_);
+    if (control_) control_->arm(*this, events_);
+    for (auto& [at, fn] : hooks_) events_.schedule(at, std::move(fn));
+    hooks_.clear();
     started_ = true;
   }
   while (now_ < until) {

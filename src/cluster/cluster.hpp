@@ -47,6 +47,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -65,6 +66,10 @@
 namespace pas::fault {
 class FaultInjector;
 }  // namespace pas::fault
+
+namespace pas::ctl {
+class ControlPlane;
+}  // namespace pas::ctl
 
 namespace pas::cluster {
 
@@ -122,8 +127,9 @@ struct ClusterConfig {
   int agent_priority = 1;
 };
 
-/// Lifecycle of a cluster VM under faults. Healthy clusters only ever see
-/// kRunning; the other states exist because hosts can crash.
+/// Lifecycle of a cluster VM under faults and external control. Healthy,
+/// uncommanded clusters only ever see kRunning; kOrphaned/kLost exist
+/// because hosts can crash, kStopped because operators can say stop.
 enum class VmState : std::uint8_t {
   kRunning = 0,
   /// Its host crashed but the VM is restartable: the cluster holds its
@@ -133,6 +139,10 @@ enum class VmState : std::uint8_t {
   /// Gone for good — crashed without restart, recovery abandoned, or lost
   /// mid-migration (MigrationOutcome::kLostSourceCrash).
   kLost,
+  /// Administratively stopped (ctl stop_vm): the workload is held off-host
+  /// like an orphan's, but deliberately — no SLA accrues and no recovery
+  /// path touches it; only start_vm resumes it.
+  kStopped,
 };
 
 /// One successful crash-recovery restart (for recovery-latency stats).
@@ -143,6 +153,18 @@ struct VmRecovery {
 
   [[nodiscard]] common::SimTime latency() const { return restarted_at - crashed_at; }
 };
+
+/// Aggregate crash-recovery latency (orphan → running again) over a run's
+/// VmRecovery records — the chaos bench's SLO block.
+struct RecoveryStats {
+  std::size_t count = 0;
+  /// Lower-median nearest-rank p50 of the latencies; zero when count == 0.
+  common::SimTime p50{};
+  common::SimTime max{};
+  double mean_s = 0.0;
+};
+
+[[nodiscard]] RecoveryStats summarize_recoveries(const std::vector<VmRecovery>& recoveries);
 
 /// Per-VM totals aggregated across every host the VM touched.
 struct ClusterVmStats {
@@ -212,6 +234,38 @@ class Cluster {
   /// held workload, state becomes kLost. SLA windows stop accruing at the
   /// crash — a lost VM has no further accounting.
   void mark_lost(GlobalVmId vm);
+
+  // --- external-control hooks (called by ctl::ControlPlane events) ---
+
+  /// Administratively stops a running VM: its workload is swapped off the
+  /// host and held (like an orphan's, but on purpose), the slot's cap drops
+  /// to zero and its balance clears. No SLA accrues while stopped — the
+  /// stop was requested, not suffered. Returns false unless the VM is
+  /// kRunning and not in flight.
+  bool stop_vm(GlobalVmId vm);
+
+  /// Resumes a stopped VM on live host `to` (not necessarily where it
+  /// stopped): same re-attach contract as a recovery restart — compensated
+  /// purchased credit, empty balance — but with no SLA outage charge.
+  /// Powers `to` on. Returns false unless the VM is kStopped and `to` is
+  /// alive.
+  bool start_vm(GlobalVmId vm, HostId to);
+
+  /// Installs the external control plane (optional). Must precede the first
+  /// run_until; the accepted task stream is armed onto the cluster event
+  /// queue when the run starts, AFTER the fault injector's schedule — at
+  /// equal times a fault outranks a command, so commands racing a crash
+  /// observe the post-crash world deterministically.
+  void install_control(std::unique_ptr<ctl::ControlPlane> control);
+  [[nodiscard]] ctl::ControlPlane* control() { return control_.get(); }
+
+  /// Schedules an arbitrary callback at a fixed queue position: hooks are
+  /// armed at run start, after the injector and control plane, in call
+  /// order. This is the test seam the control fuzz harness uses to
+  /// hand-compile a command stream into raw cluster events occupying the
+  /// exact (time, insertion-seq) positions ControlPlane::arm would give
+  /// them. Must precede the first run_until.
+  void schedule_at(common::SimTime at, std::function<void(common::SimTime)> fn);
 
   /// Aborts the in-flight migration of `vm` (see MigrationEngine::cancel).
   /// Returns false if none is in flight.
@@ -345,9 +399,12 @@ class Cluster {
   std::vector<std::vector<std::pair<HostId, common::VmId>>> vm_slots_;
   std::uint64_t topology_version_ = 0;
   std::vector<VmState> vm_state_;
-  /// Workload of each kOrphaned VM, held off-host until restart/abandon.
-  std::vector<std::unique_ptr<wl::Workload>> orphan_wl_;
-  std::vector<common::SimTime> orphan_since_;
+  /// Workload of each kOrphaned or kStopped VM, held off-host until
+  /// restart_vm / start_vm / mark_lost. held_since_ is the orphaning
+  /// instant (drives the SLA outage charge at restart); administrative
+  /// stops don't read it.
+  std::vector<std::unique_ptr<wl::Workload>> held_wl_;
+  std::vector<common::SimTime> held_since_;
   std::vector<std::uint8_t> crashed_;
   std::vector<VmRecovery> recoveries_;
 
@@ -356,6 +413,9 @@ class Cluster {
   std::unique_ptr<MigrationEngine> engine_;
   std::unique_ptr<ClusterManager> manager_;
   std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<ctl::ControlPlane> control_;
+  /// Pre-start schedule_at hooks, armed (in order) after injector+control.
+  std::vector<std::pair<common::SimTime, std::function<void(common::SimTime)>>> hooks_;
 
   metrics::ClusterEnergyMeter meter_;
   metrics::SlaChecker sla_;

@@ -23,11 +23,26 @@ consolidation::FfdOptions ffd_options(const ClusterManagerConfig& cfg) {
 }  // namespace
 
 ClusterManager::ClusterManager(ClusterManagerConfig config)
-    : cfg_(config), book_(ffd_options(config)) {
+    : cfg_(config), migration_budget_left_(config.max_migrations_per_tick),
+      book_(ffd_options(config)) {
   if (cfg_.period.us() <= 0)
     throw std::invalid_argument("ClusterManager: period must be positive");
   if (cfg_.restart_backoff.us() <= 0)
     throw std::invalid_argument("ClusterManager: restart backoff must be positive");
+}
+
+bool ClusterManager::browned_out(common::SimTime now) const {
+  for (const auto& [from, until] : brownouts_)
+    if (now >= from && now < until) return true;
+  return false;
+}
+
+ClusterManager::ExternalAdmission ClusterManager::admit_external_migration(
+    common::SimTime now) {
+  if (browned_out(now)) return ExternalAdmission::kBrownout;
+  if (migration_budget_left_ == 0) return ExternalAdmission::kNoBudget;
+  --migration_budget_left_;
+  return ExternalAdmission::kAdmitted;
 }
 
 void ClusterManager::add_brownout(common::SimTime from, common::SimTime until) {
@@ -173,15 +188,20 @@ void ClusterManager::recover_orphans(common::SimTime now, Cluster& cluster) {
 }
 
 void ClusterManager::on_tick(common::SimTime now, Cluster& cluster) {
-  for (const auto& [from, until] : brownouts_) {
-    if (now >= from && now < until) {
-      // Browned out: the planner is simply absent this period. No partial
-      // work — the next live tick re-plans from the drifted state.
-      ++ticks_skipped_;
-      return;
-    }
+  if (browned_out(now)) {
+    // Browned out: the planner is simply absent this period. No partial
+    // work — the next live tick re-plans from the drifted state. The
+    // budget stays frozen too: external commands are rejected outright
+    // inside the window (admit_external_migration), not billed against a
+    // phantom period.
+    ++ticks_skipped_;
+    return;
   }
   ++ticks_;
+  // A fresh period, a fresh migration budget — shared between this tick's
+  // issuance loop and any external migrate commands that fire before the
+  // next tick (admit_external_migration draws the same counter down).
+  migration_budget_left_ = cfg_.max_migrations_per_tick;
 
   // Crash recovery runs before consolidation so a restarted VM is placed
   // by reservation fit now and re-packed by the very plan computed below.
@@ -254,7 +274,6 @@ void ClusterManager::on_tick(common::SimTime now, Cluster& cluster) {
       // the count is surfaced so operators see unserved reservations.
       last_plan_unplaced_ = plan->unplaced;
 
-      std::size_t budget = cfg_.max_migrations_per_tick;
       std::size_t disagree = 0;
       for (std::size_t i = 0; i < plan_vms.size(); ++i) {
         const GlobalVmId gid = plan_vms[i];
@@ -266,11 +285,11 @@ void ClusterManager::on_tick(common::SimTime now, Cluster& cluster) {
         // exactly (same order, same budget, same skips); the count feeds
         // the convergence flag the early-out needs.
         ++disagree;
-        if (budget == 0) continue;
+        if (migration_budget_left_ == 0) continue;
         if (cluster.migrating(gid)) continue;
         if (cluster.migrate(gid, target_host)) {
           ++migrations_issued_;
-          --budget;
+          --migration_budget_left_;
         }
       }
       // Converged = the fleet already matched the plan before this pass

@@ -114,6 +114,20 @@ class ClusterManager {
   /// next planning tick.
   void note_host_crashed(HostId host);
 
+  // --- external control (the ctl::ControlPlane's policy gate) ---
+  enum class ExternalAdmission : std::uint8_t {
+    kAdmitted = 0,
+    kBrownout,  // the planner is browned out at `now`; nothing may migrate
+    kNoBudget,  // this period's migration budget is already spent
+  };
+
+  /// Admission control for an externally-commanded migration: external
+  /// commands obey the same rules as planner decisions — browned-out
+  /// periods issue nothing, and planner + operator share ONE
+  /// max_migrations_per_tick budget per period (kAdmitted decrements it,
+  /// so an admitted command must be followed by the migrate call).
+  [[nodiscard]] ExternalAdmission admit_external_migration(common::SimTime now);
+
   // --- diagnostics ---
   [[nodiscard]] std::size_t ticks() const { return ticks_; }
   [[nodiscard]] std::size_t ticks_skipped() const { return ticks_skipped_; }
@@ -153,8 +167,13 @@ class ClusterManager {
     common::SimTime next_attempt{};  // earliest tick allowed to retry
   };
 
+  [[nodiscard]] bool browned_out(common::SimTime now) const;
+
   ClusterManagerConfig cfg_;
   std::vector<std::pair<common::SimTime, common::SimTime>> brownouts_;
+  /// Remaining migrations this period — planner issuance and external
+  /// admissions both draw it down; every live tick resets it.
+  std::size_t migration_budget_left_ = 0;
   std::map<GlobalVmId, RetryState> retry_;  // ordered: deterministic iteration
   std::size_t ticks_ = 0;
   std::size_t ticks_skipped_ = 0;

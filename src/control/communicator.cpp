@@ -1,0 +1,37 @@
+#include "control/communicator.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pas::ctl {
+
+FileCommunicator::FileCommunicator(std::string task_path, std::string result_path)
+    : task_path_(std::move(task_path)), result_path_(std::move(result_path)) {}
+
+std::string FileCommunicator::receive_tasks() {
+  // ifstream blocks on a FIFO until a writer connects, then reads to EOF —
+  // exactly the pull-once contract the Communicator interface documents.
+  std::ifstream in(task_path_, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("FileCommunicator: cannot open " + task_path_);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+void FileCommunicator::publish_results(const std::string& log) {
+  if (result_path_.empty()) {
+    std::fwrite(log.data(), 1, log.size(), stdout);
+    return;
+  }
+  std::ofstream out(result_path_, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("FileCommunicator: cannot write " + result_path_);
+  }
+  out << log;
+}
+
+}  // namespace pas::ctl

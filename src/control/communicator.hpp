@@ -1,0 +1,73 @@
+// Transport abstraction for the control plane, following the shape of
+// RWTH-OS/migration-framework's Communicator (there MQTT; here broker-free).
+//
+// A Communicator is a one-shot exchange: the driver pulls the whole command
+// stream once before the run starts (receive_tasks), and pushes the result
+// log once after it ends (publish_results). Pulling everything up front is
+// what keeps the determinism contract trivial — the stream is fixed before
+// the first event fires, so commands occupy fixed (time, insertion-seq)
+// queue positions regardless of transport latency. Real orchestrator
+// traffic arrives mid-run through tools/pas_ctl's REPL path
+// (ControlPlane::submit), which queues against the *next* run_until
+// boundary and is equally deterministic given the same submission points.
+//
+// Implementations:
+//  * VectorCommunicator — in-process scripted text; tests and the bench.
+//  * FileCommunicator   — reads a file (or a named pipe, to EOF) and writes
+//                         the result log next to it; tools/pas_ctl.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace pas::ctl {
+
+class Communicator {
+ public:
+  virtual ~Communicator() = default;
+
+  /// Returns the full command-stream text (JSON, see task.hpp). Called once.
+  [[nodiscard]] virtual std::string receive_tasks() = 0;
+
+  /// Name of the stream's source for `origin:line:` diagnostics.
+  [[nodiscard]] virtual std::string origin() const = 0;
+
+  /// Publishes the serialized result log. Called once, after the run.
+  virtual void publish_results(const std::string& log) = 0;
+};
+
+/// Scripted in-process transport: tasks from a string, results captured.
+class VectorCommunicator final : public Communicator {
+ public:
+  explicit VectorCommunicator(std::string tasks_json, std::string origin = "<memory>")
+      : tasks_(std::move(tasks_json)), origin_(std::move(origin)) {}
+
+  [[nodiscard]] std::string receive_tasks() override { return tasks_; }
+  [[nodiscard]] std::string origin() const override { return origin_; }
+  void publish_results(const std::string& log) override { published_ = log; }
+
+  [[nodiscard]] const std::string& published() const { return published_; }
+
+ private:
+  std::string tasks_;
+  std::string origin_;
+  std::string published_;
+};
+
+/// File/pipe transport: reads `task_path` to EOF (blocking on a FIFO until
+/// the writer closes it), publishes to `result_path` ("" = stdout). Throws
+/// std::runtime_error if the task file cannot be read.
+class FileCommunicator final : public Communicator {
+ public:
+  FileCommunicator(std::string task_path, std::string result_path);
+
+  [[nodiscard]] std::string receive_tasks() override;
+  [[nodiscard]] std::string origin() const override { return task_path_; }
+  void publish_results(const std::string& log) override;
+
+ private:
+  std::string task_path_;
+  std::string result_path_;
+};
+
+}  // namespace pas::ctl

@@ -1,0 +1,322 @@
+#include "control/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+namespace pas::ctl::json {
+
+// Namespace-scope (not anonymous) so Value's `friend class Parser` matches.
+class Parser {
+ public:
+  Parser(std::string_view text, const std::string& origin)
+      : text_(text), origin_(origin) {}
+
+  Value run() {
+    skip_ws();
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail(line_, "trailing garbage after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(std::size_t line, const std::string& what) const {
+    throw std::runtime_error(origin_ + ":" + std::to_string(line) + ": " + what);
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  char take() {
+    char c = text_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  void skip_ws() {
+    while (!eof()) {
+      char c = peek();
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        take();
+      } else {
+        break;
+      }
+    }
+  }
+
+  void expect(char want, const char* in_what) {
+    if (eof()) fail(line_, std::string("unexpected end of input in ") + in_what);
+    char c = take();
+    if (c != want) {
+      fail(line_, std::string("expected '") + want + "' in " + in_what + ", got '" +
+                      printable(c) + "'");
+    }
+  }
+
+  static std::string printable(char c) {
+    if (std::isprint(static_cast<unsigned char>(c)) != 0) return std::string(1, c);
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "\\x%02x", static_cast<unsigned char>(c));
+    return buf;
+  }
+
+  Value parse_value() {
+    if (eof()) fail(line_, "unexpected end of input, expected a value");
+    char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string_value();
+      case 't':
+      case 'f': return parse_bool();
+      case 'n': return parse_null();
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+        fail(line_, std::string("unexpected character '") + printable(c) +
+                        "', expected a value");
+    }
+  }
+
+  Value parse_object() {
+    Value v;
+    v.kind_ = Kind::kObject;
+    v.line_ = line_;
+    expect('{', "object");
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      take();
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      if (eof()) fail(line_, "unexpected end of input in object");
+      if (peek() != '"') fail(line_, "expected '\"' to start object key");
+      std::size_t key_line = line_;
+      std::string key = parse_string_body();
+      for (const auto& [existing, unused] : v.members_) {
+        (void)unused;
+        if (existing == key) fail(key_line, "duplicate object key \"" + key + "\"");
+      }
+      skip_ws();
+      expect(':', "object");
+      skip_ws();
+      v.members_.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (eof()) fail(line_, "unexpected end of input in object");
+      char c = take();
+      if (c == '}') break;
+      if (c != ',') {
+        fail(line_, std::string("expected ',' or '}' in object, got '") +
+                        printable(c) + "'");
+      }
+      skip_ws();
+      if (!eof() && peek() == '}') fail(line_, "trailing comma in object");
+    }
+    return v;
+  }
+
+  Value parse_array() {
+    Value v;
+    v.kind_ = Kind::kArray;
+    v.line_ = line_;
+    expect('[', "array");
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      take();
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      v.items_.push_back(parse_value());
+      skip_ws();
+      if (eof()) fail(line_, "unexpected end of input in array");
+      char c = take();
+      if (c == ']') break;
+      if (c != ',') {
+        fail(line_, std::string("expected ',' or ']' in array, got '") +
+                        printable(c) + "'");
+      }
+      skip_ws();
+      if (!eof() && peek() == ']') fail(line_, "trailing comma in array");
+    }
+    return v;
+  }
+
+  Value parse_string_value() {
+    Value v;
+    v.kind_ = Kind::kString;
+    v.line_ = line_;
+    v.string_ = parse_string_body();
+    return v;
+  }
+
+  // Consumes a quoted string including both quotes; returns the decoded body.
+  std::string parse_string_body() {
+    expect('"', "string");
+    std::string out;
+    while (true) {
+      if (eof()) fail(line_, "unterminated string");
+      char c = take();
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail(line_, "unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (eof()) fail(line_, "unterminated escape in string");
+      char e = take();
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (eof()) fail(line_, "truncated \\u escape in string");
+            char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail(line_, std::string("invalid hex digit '") + printable(h) +
+                              "' in \\u escape");
+            }
+          }
+          // UTF-8 encode the code point. Surrogates are rejected: the task
+          // protocol is ASCII in practice and the result log must round-trip
+          // byte-exactly, so no lossy pairing logic.
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            fail(line_, "surrogate \\u escape not supported");
+          }
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          fail(line_, std::string("invalid escape '\\") + printable(e) + "' in string");
+      }
+    }
+    return out;
+  }
+
+  Value parse_bool() {
+    Value v;
+    v.kind_ = Kind::kBool;
+    v.line_ = line_;
+    if (text_.substr(pos_, 4) == "true") {
+      v.bool_ = true;
+      pos_ += 4;
+    } else if (text_.substr(pos_, 5) == "false") {
+      v.bool_ = false;
+      pos_ += 5;
+    } else {
+      fail(line_, "invalid literal, expected 'true' or 'false'");
+    }
+    return v;
+  }
+
+  Value parse_null() {
+    Value v;
+    v.kind_ = Kind::kNull;
+    v.line_ = line_;
+    if (text_.substr(pos_, 4) != "null") fail(line_, "invalid literal, expected 'null'");
+    pos_ += 4;
+    return v;
+  }
+
+  Value parse_number() {
+    Value v;
+    v.kind_ = Kind::kNumber;
+    v.line_ = line_;
+    std::size_t start = pos_;
+    if (!eof() && peek() == '-') take();
+    if (eof() || !(peek() >= '0' && peek() <= '9')) {
+      fail(line_, "invalid number: expected digit");
+    }
+    while (!eof() && peek() >= '0' && peek() <= '9') take();
+    if (!eof() && peek() == '.') {
+      take();
+      if (eof() || !(peek() >= '0' && peek() <= '9')) {
+        fail(line_, "invalid number: expected digit after '.'");
+      }
+      while (!eof() && peek() >= '0' && peek() <= '9') take();
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      take();
+      if (!eof() && (peek() == '+' || peek() == '-')) take();
+      if (eof() || !(peek() >= '0' && peek() <= '9')) {
+        fail(line_, "invalid number: expected digit in exponent");
+      }
+      while (!eof() && peek() >= '0' && peek() <= '9') take();
+    }
+    std::string_view token = text_.substr(start, pos_ - start);
+    auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), v.number_);
+    if (ec != std::errc{} || ptr != token.data() + token.size()) {
+      fail(line_, "invalid number \"" + std::string(token) + "\"");
+    }
+    return v;
+  }
+
+  std::string_view text_;
+  const std::string& origin_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+const Value* Value::find(std::string_view key) const {
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+Value parse(std::string_view text, const std::string& origin) {
+  return Parser(text, origin).run();
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace pas::ctl::json

@@ -1,0 +1,78 @@
+// Minimal strict JSON for the control plane's task protocol.
+//
+// The external command stream (ctl::parse_tasks) and the result log are
+// JSON; nothing else in the simulator speaks it, and the container bakes in
+// no JSON library, so this is a self-contained recursive-descent parser in
+// the common::CsvTable hardening idiom: every rejection throws
+// std::runtime_error prefixed `origin:line:` so a bad task in a 10k-line
+// command log is findable, and every parsed value remembers the line it
+// started on so *semantic* validation one layer up (unknown task kind, bad
+// VM id) can point at the offending task too.
+//
+// Strictness over convenience, deliberately: duplicate object keys,
+// trailing commas, comments, NaN/Inf literals, unescaped control
+// characters and trailing garbage after the top-level value are all
+// rejected. A command stream is config-as-input — anything the grammar
+// tolerates silently becomes behavior someone depends on.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pas::ctl::json {
+
+enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+/// One parsed JSON value. Objects preserve member order (the task protocol
+/// never depends on it, but error messages walking members in input order
+/// read better) and reject duplicate keys at parse time.
+class Value {
+ public:
+  [[nodiscard]] Kind kind() const { return kind_; }
+  /// 1-based physical line this value started on (for semantic errors).
+  [[nodiscard]] std::size_t line() const { return line_; }
+
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_number() const { return number_; }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+  [[nodiscard]] const std::vector<Value>& items() const { return items_; }
+  [[nodiscard]] const std::vector<std::pair<std::string, Value>>& members() const {
+    return members_;
+  }
+
+  /// Member lookup; nullptr when absent.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+ private:
+  friend class Parser;
+
+  Kind kind_ = Kind::kNull;
+  std::size_t line_ = 1;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> items_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+/// Parses one complete JSON document. `origin` names the source in error
+/// messages (a file path, or "<memory>"). Throws std::runtime_error with an
+/// `origin:line:` prefix on any syntax violation, including trailing
+/// non-whitespace after the document.
+[[nodiscard]] Value parse(std::string_view text, const std::string& origin = "<memory>");
+
+/// Escapes a string for embedding in JSON output (quotes, backslashes,
+/// control characters). Returns the escaped body WITHOUT surrounding quotes.
+[[nodiscard]] std::string escape(std::string_view s);
+
+}  // namespace pas::ctl::json

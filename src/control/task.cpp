@@ -1,0 +1,258 @@
+#include "control/task.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <stdexcept>
+
+#include "control/json.hpp"
+
+namespace pas::ctl {
+namespace {
+
+[[noreturn]] void fail(const std::string& origin, std::size_t line,
+                       const std::string& what) {
+  throw std::runtime_error(origin + ":" + std::to_string(line) + ": " + what);
+}
+
+/// Non-negative integer field (id / vm / host). JSON numbers are doubles;
+/// anything fractional, negative, or too large to round-trip exactly is
+/// malformed input, not something to truncate quietly.
+std::uint64_t require_uint(const json::Value& v, const std::string& origin,
+                           const char* field) {
+  if (!v.is_number()) {
+    fail(origin, v.line(), std::string("field \"") + field + "\" must be a number");
+  }
+  double d = v.as_number();
+  if (d < 0.0) {
+    fail(origin, v.line(), std::string("field \"") + field + "\" must be non-negative");
+  }
+  if (d != std::floor(d) || d > 9.007199254740992e15) {  // 2^53
+    fail(origin, v.line(), std::string("field \"") + field + "\" must be an integer");
+  }
+  return static_cast<std::uint64_t>(d);
+}
+
+struct KindSpec {
+  const char* name;
+  TaskKind kind;
+  bool vm, host, mb_per_s;  // required fields beyond id/at_s/task
+};
+
+constexpr KindSpec kKinds[] = {
+    {"start_vm", TaskKind::kStartVm, true, true, false},
+    {"stop_vm", TaskKind::kStopVm, true, false, false},
+    {"migrate", TaskKind::kMigrate, true, true, false},
+    {"crash_host", TaskKind::kCrashHost, false, true, false},
+    {"restart_vm", TaskKind::kRestartVm, true, true, false},
+    {"set_link_bandwidth", TaskKind::kSetLinkBandwidth, false, false, true},
+    {"annotate", TaskKind::kAnnotate, false, false, false},
+};
+
+}  // namespace
+
+const char* to_string(TaskKind kind) {
+  for (const KindSpec& spec : kKinds) {
+    if (spec.kind == kind) return spec.name;
+  }
+  return "?";
+}
+
+const char* to_string(TaskStatus status) {
+  switch (status) {
+    case TaskStatus::kOk: return "ok";
+    case TaskStatus::kRejected: return "rejected";
+    case TaskStatus::kSuperseded: return "superseded";
+  }
+  return "?";
+}
+
+std::vector<Task> parse_tasks(std::string_view text, const std::string& origin,
+                              FleetDims dims) {
+  json::Value root = json::parse(text, origin);
+  if (!root.is_array()) {
+    fail(origin, root.line(), "top-level value must be an array of tasks");
+  }
+
+  std::vector<Task> tasks;
+  tasks.reserve(root.items().size());
+  std::set<std::uint64_t> seen_ids;
+
+  for (const json::Value& item : root.items()) {
+    if (!item.is_object()) {
+      fail(origin, item.line(), "task must be an object");
+    }
+    Task task;
+
+    // --- id ---
+    const json::Value* id = item.find("id");
+    if (id == nullptr) fail(origin, item.line(), "missing required field \"id\"");
+    task.id = require_uint(*id, origin, "id");
+    if (!seen_ids.insert(task.id).second) {
+      fail(origin, id->line(),
+           "duplicate task id " + std::to_string(task.id));
+    }
+
+    // --- at_s ---
+    const json::Value* at = item.find("at_s");
+    if (at == nullptr) fail(origin, item.line(), "missing required field \"at_s\"");
+    if (!at->is_number()) fail(origin, at->line(), "field \"at_s\" must be a number");
+    double at_s = at->as_number();
+    if (at_s < 0.0) {
+      fail(origin, at->line(), "field \"at_s\" must be non-negative");
+    }
+    task.at = common::SimTime{std::llround(at_s * 1e6)};
+    if (!tasks.empty() && task.at < tasks.back().at) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    "non-monotone at_s: %.6f is earlier than the previous task's %.6f",
+                    task.at.sec(), tasks.back().at.sec());
+      fail(origin, at->line(), buf);
+    }
+
+    // --- task kind ---
+    const json::Value* kind = item.find("task");
+    if (kind == nullptr) fail(origin, item.line(), "missing required field \"task\"");
+    if (!kind->is_string()) {
+      fail(origin, kind->line(), "field \"task\" must be a string");
+    }
+    const KindSpec* spec = nullptr;
+    for (const KindSpec& candidate : kKinds) {
+      if (kind->as_string() == candidate.name) {
+        spec = &candidate;
+        break;
+      }
+    }
+    if (spec == nullptr) {
+      fail(origin, kind->line(), "unknown task kind \"" + kind->as_string() + "\"");
+    }
+    task.kind = spec->kind;
+
+    // --- kind-specific fields ---
+    if (spec->vm) {
+      const json::Value* vm = item.find("vm");
+      if (vm == nullptr) fail(origin, item.line(), "missing required field \"vm\"");
+      std::uint64_t v = require_uint(*vm, origin, "vm");
+      if (dims.vms != 0 && v >= dims.vms) {
+        fail(origin, vm->line(),
+             "unknown vm " + std::to_string(v) + " (fleet has " +
+                 std::to_string(dims.vms) + " VMs)");
+      }
+      task.vm = static_cast<std::uint32_t>(v);
+    }
+    if (spec->host) {
+      const json::Value* host = item.find("host");
+      if (host == nullptr) fail(origin, item.line(), "missing required field \"host\"");
+      std::uint64_t h = require_uint(*host, origin, "host");
+      if (dims.hosts != 0 && h >= dims.hosts) {
+        fail(origin, host->line(),
+             "unknown host " + std::to_string(h) + " (fleet has " +
+                 std::to_string(dims.hosts) + " hosts)");
+      }
+      task.host = static_cast<std::uint32_t>(h);
+    }
+    if (spec->mb_per_s) {
+      const json::Value* bw = item.find("mb_per_s");
+      if (bw == nullptr) {
+        fail(origin, item.line(), "missing required field \"mb_per_s\"");
+      }
+      if (!bw->is_number() || !(bw->as_number() > 0.0)) {
+        fail(origin, bw->line(), "field \"mb_per_s\" must be a positive number");
+      }
+      task.mb_per_s = bw->as_number();
+    }
+    if (task.kind == TaskKind::kCrashHost) {
+      if (const json::Value* restart = item.find("restart")) {
+        if (!restart->is_bool()) {
+          fail(origin, restart->line(), "field \"restart\" must be a boolean");
+        }
+        task.restart = restart->as_bool();
+      }
+    }
+    if (task.kind == TaskKind::kAnnotate) {
+      if (const json::Value* note = item.find("note")) {
+        if (!note->is_string()) {
+          fail(origin, note->line(), "field \"note\" must be a string");
+        }
+        task.note = note->as_string();
+      }
+    }
+
+    // --- reject unknown / misplaced fields ---
+    for (const auto& [name, value] : item.members()) {
+      bool known = name == "id" || name == "at_s" || name == "task" ||
+                   (spec->vm && name == "vm") || (spec->host && name == "host") ||
+                   (spec->mb_per_s && name == "mb_per_s") ||
+                   (task.kind == TaskKind::kCrashHost && name == "restart") ||
+                   (task.kind == TaskKind::kAnnotate && name == "note");
+      if (!known) {
+        fail(origin, value.line(),
+             "unknown field \"" + name + "\" for task kind \"" + spec->name + "\"");
+      }
+    }
+
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+namespace {
+
+void append_result_line(std::string& out, const TaskResult& result) {
+  char buf[64];
+  out += "{\"id\": ";
+  out += std::to_string(result.id);
+  std::snprintf(buf, sizeof(buf), ", \"at_s\": %.6f", result.at.sec());
+  out += buf;
+  out += ", \"task\": \"";
+  out += to_string(result.kind);
+  out += "\", \"status\": \"";
+  out += to_string(result.status);
+  out += "\"";
+  if (!result.reason.empty()) {
+    out += ", \"reason\": \"" + json::escape(result.reason) + "\"";
+  }
+  if (!result.note.empty()) {
+    out += ", \"note\": \"" + json::escape(result.note) + "\"";
+  }
+  out += "}";
+}
+
+}  // namespace
+
+std::string serialize_results(const std::vector<TaskResult>& results) {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    append_result_line(out, results[i]);
+    if (i + 1 < results.size()) out += ",";
+    out += "\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+std::string results_to_annotations(const std::vector<TaskResult>& results) {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const TaskResult& result = results[i];
+    std::string note;
+    if (result.kind == TaskKind::kAnnotate) {
+      note = result.note;  // verbatim: the fixed-point property
+    } else {
+      note = std::string(to_string(result.kind)) + ":" + to_string(result.status);
+      if (!result.reason.empty()) note += ":" + result.reason;
+    }
+    char buf[64];
+    out += "{\"id\": ";
+    out += std::to_string(result.id);
+    std::snprintf(buf, sizeof(buf), ", \"at_s\": %.6f", result.at.sec());
+    out += buf;
+    out += ", \"task\": \"annotate\", \"note\": \"" + json::escape(note) + "\"}";
+    if (i + 1 < results.size()) out += ",";
+    out += "\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+}  // namespace pas::ctl

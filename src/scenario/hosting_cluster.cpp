@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/random.hpp"
+#include "control/control_plane.hpp"
 #include "workload/load_profile.hpp"
 #include "workload/pi_app.hpp"
 #include "workload/synthetic.hpp"
@@ -15,9 +16,10 @@ namespace pas::scenario {
 
 namespace {
 
-/// Manager + chaos install, shared by both workload presets. Chaos is
-/// strictly additive: chaos_seed == 0 installs nothing, so every
-/// historical (seed → scenario) mapping stays byte-identical.
+/// Manager + chaos + control install, shared by both workload presets.
+/// Chaos and commands are strictly additive: chaos_seed == 0 / an empty
+/// command stream installs nothing, so every historical (seed → scenario)
+/// mapping stays byte-identical.
 void finish_cluster(cluster::Cluster& cluster, const HostingClusterConfig& config) {
   if (config.install_manager)
     cluster.install_manager(std::make_unique<cluster::ClusterManager>(config.manager));
@@ -25,6 +27,8 @@ void finish_cluster(cluster::Cluster& cluster, const HostingClusterConfig& confi
     cluster.install_faults(std::make_unique<fault::FaultInjector>(fault::draw_fault_plan(
         config.chaos, config.chaos_seed, config.hosts, config.horizon)));
   }
+  if (!config.commands.empty())
+    cluster.install_control(std::make_unique<ctl::ControlPlane>(config.commands));
 }
 
 }  // namespace

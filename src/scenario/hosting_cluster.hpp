@@ -18,6 +18,7 @@
 #include "cluster/cluster.hpp"
 #include "cluster/cluster_manager.hpp"
 #include "common/units.hpp"
+#include "control/task.hpp"
 #include "fault/fault.hpp"
 #include "platform/host_class.hpp"
 #include "workload/trace_replay.hpp"
@@ -85,6 +86,11 @@ struct HostingClusterConfig {
   /// (workloads, fleet, traces) are untouched by any chaos_seed value.
   std::uint64_t chaos_seed = 0;
   fault::FaultConfig chaos;
+  /// External command stream (ctl::parse_tasks output): non-empty installs
+  /// a ctl::ControlPlane over these tasks. Strictly additive — an empty
+  /// stream installs nothing and every historical scenario reproduces
+  /// byte-identically.
+  std::vector<ctl::Task> commands;
 
   [[nodiscard]] static platform::HostClass default_uniform_class() {
     platform::HostClass c;

@@ -1,0 +1,94 @@
+// Unit tests for summarize_recoveries — the crash-recovery SLO aggregation
+// (orphan → running latency) behind the chaos bench's recovery_latency_*
+// fields. The p50 is the lower-median nearest-rank percentile: always an
+// actually-occurred latency, byte-stable for the bench's JSON, never an
+// interpolated average.
+#include "cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace pas::cluster {
+namespace {
+
+using common::msec;
+using common::seconds;
+using common::SimTime;
+
+VmRecovery rec(GlobalVmId vm, SimTime crashed_at, SimTime restarted_at) {
+  return VmRecovery{vm, crashed_at, restarted_at};
+}
+
+TEST(RecoveryStatsTest, EmptyIsAllZero) {
+  const RecoveryStats s = summarize_recoveries({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.p50, SimTime{});
+  EXPECT_EQ(s.max, SimTime{});
+  EXPECT_DOUBLE_EQ(s.mean_s, 0.0);
+}
+
+TEST(RecoveryStatsTest, SingleRecoveryIsItsOwnEverything) {
+  const RecoveryStats s = summarize_recoveries({rec(3, seconds(10), seconds(14))});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.p50, seconds(4));
+  EXPECT_EQ(s.max, seconds(4));
+  EXPECT_DOUBLE_EQ(s.mean_s, 4.0);
+}
+
+TEST(RecoveryStatsTest, OddCountPicksTheMiddleLatency) {
+  // Latencies 2s, 6s, 10s -> p50 is the middle one, not the 6s mean trap.
+  const RecoveryStats s = summarize_recoveries({
+      rec(0, seconds(10), seconds(12)),
+      rec(1, seconds(20), seconds(26)),
+      rec(2, seconds(30), seconds(40)),
+  });
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.p50, seconds(6));
+  EXPECT_EQ(s.max, seconds(10));
+  EXPECT_DOUBLE_EQ(s.mean_s, 6.0);
+}
+
+TEST(RecoveryStatsTest, EvenCountTakesTheLowerMedian) {
+  // Latencies 1s, 3s, 5s, 7s -> nearest-rank lower median is 3s (an
+  // occurred value), NOT the interpolated 4s.
+  const RecoveryStats s = summarize_recoveries({
+      rec(0, seconds(0), seconds(1)),
+      rec(1, seconds(0), seconds(3)),
+      rec(2, seconds(0), seconds(5)),
+      rec(3, seconds(0), seconds(7)),
+  });
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.p50, seconds(3));
+  EXPECT_EQ(s.max, seconds(7));
+  EXPECT_DOUBLE_EQ(s.mean_s, 4.0);
+}
+
+TEST(RecoveryStatsTest, UnsortedInputIsSortedByLatency) {
+  // Records arrive in recovery order, not latency order; the summary must
+  // sort by latency, not trust the input.
+  const RecoveryStats s = summarize_recoveries({
+      rec(0, seconds(10), seconds(19)),  // 9s
+      rec(1, seconds(20), seconds(21)),  // 1s
+      rec(2, seconds(30), seconds(35)),  // 5s
+  });
+  EXPECT_EQ(s.p50, seconds(5));
+  EXPECT_EQ(s.max, seconds(9));
+  EXPECT_DOUBLE_EQ(s.mean_s, 5.0);
+}
+
+TEST(RecoveryStatsTest, SubSecondLatenciesKeepMicrosecondResolution) {
+  const RecoveryStats s = summarize_recoveries({
+      rec(0, msec(1'000), msec(1'250)),
+      rec(1, msec(2'000), msec(2'750)),
+      rec(2, msec(3'000), msec(3'500)),
+  });
+  EXPECT_EQ(s.p50, msec(500));
+  EXPECT_EQ(s.max, msec(750));
+  EXPECT_DOUBLE_EQ(s.mean_s, 0.5);
+}
+
+}  // namespace
+}  // namespace pas::cluster

@@ -1,0 +1,359 @@
+// Rejection corpus for the control plane's strict task parser, in the
+// CsvTable hardening style (tests/common/csv_test.cpp): every malformed
+// input — truncated JSON, unknown task kind, missing or negative
+// timestamps, non-monotone times, out-of-range VM/host ids, duplicate task
+// ids, unknown fields — must throw std::runtime_error naming the exact
+// `origin:line`, never crash, never silently skip. Plus the positive
+// grammar, the deterministic result-log serialization, and the
+// annotation-stream fixed point the replay test builds on.
+#include "control/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "control/json.hpp"
+
+namespace pas::ctl {
+namespace {
+
+// Captures the message of the runtime_error `fn` must throw.
+template <typename Fn>
+std::string thrown_message(Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected std::runtime_error";
+  return {};
+}
+
+// Parses `text` as "cmd.json" expecting a rejection; returns the message.
+std::string reject(const std::string& text, FleetDims dims = {}) {
+  return thrown_message([&] { (void)parse_tasks(text, "cmd.json", dims); });
+}
+
+void expect_rejection(const std::string& text, const std::string& at,
+                      const std::string& what, FleetDims dims = {}) {
+  const std::string msg = reject(text, dims);
+  EXPECT_NE(msg.find(at), std::string::npos) << msg;
+  EXPECT_NE(msg.find(what), std::string::npos) << msg;
+}
+
+// --- the positive grammar -------------------------------------------------
+
+TEST(TaskParserTest, ParsesEveryKind) {
+  const auto tasks = parse_tasks(
+      "[\n"
+      "{\"id\": 1, \"at_s\": 10.000000, \"task\": \"migrate\", \"vm\": 3, \"host\": 1},\n"
+      "{\"id\": 2, \"at_s\": 12.5, \"task\": \"crash_host\", \"host\": 0, \"restart\": false},\n"
+      "{\"id\": 3, \"at_s\": 15.0, \"task\": \"set_link_bandwidth\", \"mb_per_s\": 80.0},\n"
+      "{\"id\": 4, \"at_s\": 20.0, \"task\": \"stop_vm\", \"vm\": 2},\n"
+      "{\"id\": 5, \"at_s\": 25.0, \"task\": \"start_vm\", \"vm\": 2, \"host\": 1},\n"
+      "{\"id\": 6, \"at_s\": 30.0, \"task\": \"restart_vm\", \"vm\": 4, \"host\": 0},\n"
+      "{\"id\": 7, \"at_s\": 35.0, \"task\": \"annotate\", \"note\": \"shift change\"}\n"
+      "]\n",
+      "cmd.json", {2, 5});
+  ASSERT_EQ(tasks.size(), 7u);
+  EXPECT_EQ(tasks[0].kind, TaskKind::kMigrate);
+  EXPECT_EQ(tasks[0].vm, 3u);
+  EXPECT_EQ(tasks[0].host, 1u);
+  EXPECT_EQ(tasks[0].at, common::seconds(10));
+  EXPECT_EQ(tasks[1].kind, TaskKind::kCrashHost);
+  EXPECT_FALSE(tasks[1].restart);
+  EXPECT_EQ(tasks[1].at, common::msec(12'500));
+  EXPECT_EQ(tasks[2].kind, TaskKind::kSetLinkBandwidth);
+  EXPECT_DOUBLE_EQ(tasks[2].mb_per_s, 80.0);
+  EXPECT_EQ(tasks[3].kind, TaskKind::kStopVm);
+  EXPECT_EQ(tasks[4].kind, TaskKind::kStartVm);
+  EXPECT_EQ(tasks[5].kind, TaskKind::kRestartVm);
+  EXPECT_EQ(tasks[6].kind, TaskKind::kAnnotate);
+  EXPECT_EQ(tasks[6].note, "shift change");
+}
+
+TEST(TaskParserTest, EmptyStreamIsLegal) {
+  EXPECT_TRUE(parse_tasks("[]\n", "cmd.json").empty());
+}
+
+TEST(TaskParserTest, EqualTimestampsAreLegal) {
+  const auto tasks = parse_tasks(
+      "[\n"
+      "{\"id\": 1, \"at_s\": 5.0, \"task\": \"annotate\"},\n"
+      "{\"id\": 2, \"at_s\": 5.0, \"task\": \"annotate\"}\n"
+      "]\n",
+      "cmd.json");
+  ASSERT_EQ(tasks.size(), 2u);
+  EXPECT_EQ(tasks[0].at, tasks[1].at);
+}
+
+TEST(TaskParserTest, CrashRestartDefaultsTrue) {
+  const auto tasks = parse_tasks(
+      "[{\"id\": 1, \"at_s\": 1.0, \"task\": \"crash_host\", \"host\": 0}]\n",
+      "cmd.json");
+  ASSERT_EQ(tasks.size(), 1u);
+  EXPECT_TRUE(tasks[0].restart);
+}
+
+TEST(TaskParserTest, ZeroDimsSkipTheRangeCheck) {
+  // dims = {0, 0}: vm/host ids are taken on faith (the ControlPlane still
+  // rejects bad ones at fire time).
+  const auto tasks = parse_tasks(
+      "[{\"id\": 1, \"at_s\": 1.0, \"task\": \"migrate\", \"vm\": 999, \"host\": 999}]\n",
+      "cmd.json");
+  ASSERT_EQ(tasks.size(), 1u);
+  EXPECT_EQ(tasks[0].vm, 999u);
+}
+
+// --- the rejection corpus -------------------------------------------------
+// Each case pins the exact origin:line and the diagnostic's key phrase.
+
+TEST(TaskParserTest, EmptyInputRejected) {
+  expect_rejection("", "cmd.json:1", "unexpected end of input");
+}
+
+TEST(TaskParserTest, TruncatedObjectRejected) {
+  expect_rejection("[\n{\"id\": 1, \"at_s\": 2.0,", "cmd.json:2",
+                   "unexpected end of input in object");
+}
+
+TEST(TaskParserTest, TruncatedArrayRejected) {
+  expect_rejection("[\n{\"id\": 1, \"at_s\": 2.0, \"task\": \"annotate\"}\n",
+                   "cmd.json:3", "unexpected end of input in array");
+}
+
+TEST(TaskParserTest, TrailingGarbageRejected) {
+  expect_rejection("[]\nextra", "cmd.json:2", "trailing garbage");
+}
+
+TEST(TaskParserTest, TopLevelObjectRejected) {
+  expect_rejection("{\"id\": 1}\n", "cmd.json:1",
+                   "top-level value must be an array of tasks");
+}
+
+TEST(TaskParserTest, NonObjectTaskRejected) {
+  expect_rejection("[\n42\n]\n", "cmd.json:2", "task must be an object");
+}
+
+TEST(TaskParserTest, MissingIdRejected) {
+  expect_rejection("[\n{\"at_s\": 1.0, \"task\": \"annotate\"}\n]\n",
+                   "cmd.json:2", "missing required field \"id\"");
+}
+
+TEST(TaskParserTest, NegativeIdRejected) {
+  expect_rejection("[\n{\"id\": -1, \"at_s\": 1.0, \"task\": \"annotate\"}\n]\n",
+                   "cmd.json:2", "field \"id\" must be non-negative");
+}
+
+TEST(TaskParserTest, FractionalIdRejected) {
+  expect_rejection("[\n{\"id\": 1.5, \"at_s\": 1.0, \"task\": \"annotate\"}\n]\n",
+                   "cmd.json:2", "field \"id\" must be an integer");
+}
+
+TEST(TaskParserTest, DuplicateTaskIdRejectedAtTheSecondUse) {
+  expect_rejection(
+      "[\n"
+      "{\"id\": 1, \"at_s\": 1.0, \"task\": \"annotate\"},\n"
+      "{\"id\": 1, \"at_s\": 2.0, \"task\": \"annotate\"}\n"
+      "]\n",
+      "cmd.json:3", "duplicate task id 1");
+}
+
+TEST(TaskParserTest, MissingTimestampRejected) {
+  expect_rejection("[\n{\"id\": 1, \"task\": \"annotate\"}\n]\n", "cmd.json:2",
+                   "missing required field \"at_s\"");
+}
+
+TEST(TaskParserTest, NonNumericTimestampRejected) {
+  expect_rejection("[\n{\"id\": 1, \"at_s\": \"soon\", \"task\": \"annotate\"}\n]\n",
+                   "cmd.json:2", "field \"at_s\" must be a number");
+}
+
+TEST(TaskParserTest, NegativeTimestampRejected) {
+  expect_rejection("[\n{\"id\": 1, \"at_s\": -0.5, \"task\": \"annotate\"}\n]\n",
+                   "cmd.json:2", "field \"at_s\" must be non-negative");
+}
+
+TEST(TaskParserTest, NonMonotoneTimestampsRejectedWithBothTimes) {
+  expect_rejection(
+      "[\n"
+      "{\"id\": 1, \"at_s\": 2.0, \"task\": \"annotate\"},\n"
+      "{\"id\": 2, \"at_s\": 1.0, \"task\": \"annotate\"}\n"
+      "]\n",
+      "cmd.json:3",
+      "non-monotone at_s: 1.000000 is earlier than the previous task's 2.000000");
+}
+
+TEST(TaskParserTest, MissingKindRejected) {
+  expect_rejection("[\n{\"id\": 1, \"at_s\": 1.0}\n]\n", "cmd.json:2",
+                   "missing required field \"task\"");
+}
+
+TEST(TaskParserTest, NonStringKindRejected) {
+  expect_rejection("[\n{\"id\": 1, \"at_s\": 1.0, \"task\": 7}\n]\n",
+                   "cmd.json:2", "field \"task\" must be a string");
+}
+
+TEST(TaskParserTest, UnknownKindRejected) {
+  expect_rejection("[\n{\"id\": 1, \"at_s\": 1.0, \"task\": \"explode\"}\n]\n",
+                   "cmd.json:2", "unknown task kind \"explode\"");
+}
+
+TEST(TaskParserTest, MigrateWithoutVmRejected) {
+  expect_rejection("[\n{\"id\": 1, \"at_s\": 1.0, \"task\": \"migrate\", \"host\": 0}\n]\n",
+                   "cmd.json:2", "missing required field \"vm\"");
+}
+
+TEST(TaskParserTest, MigrateWithoutHostRejected) {
+  expect_rejection("[\n{\"id\": 1, \"at_s\": 1.0, \"task\": \"migrate\", \"vm\": 0}\n]\n",
+                   "cmd.json:2", "missing required field \"host\"");
+}
+
+TEST(TaskParserTest, OutOfRangeVmRejectedAgainstDims) {
+  expect_rejection(
+      "[\n{\"id\": 1, \"at_s\": 1.0, \"task\": \"stop_vm\", \"vm\": 64}\n]\n",
+      "cmd.json:2", "unknown vm 64 (fleet has 64 VMs)", {8, 64});
+}
+
+TEST(TaskParserTest, OutOfRangeHostRejectedAgainstDims) {
+  expect_rejection(
+      "[\n{\"id\": 1, \"at_s\": 1.0, \"task\": \"crash_host\", \"host\": 8}\n]\n",
+      "cmd.json:2", "unknown host 8 (fleet has 8 hosts)", {8, 64});
+}
+
+TEST(TaskParserTest, FractionalVmIdRejected) {
+  expect_rejection(
+      "[\n{\"id\": 1, \"at_s\": 1.0, \"task\": \"stop_vm\", \"vm\": 2.5}\n]\n",
+      "cmd.json:2", "field \"vm\" must be an integer");
+}
+
+TEST(TaskParserTest, LinkChangeWithoutBandwidthRejected) {
+  expect_rejection(
+      "[\n{\"id\": 1, \"at_s\": 1.0, \"task\": \"set_link_bandwidth\"}\n]\n",
+      "cmd.json:2", "missing required field \"mb_per_s\"");
+}
+
+TEST(TaskParserTest, NonPositiveBandwidthRejected) {
+  expect_rejection(
+      "[\n{\"id\": 1, \"at_s\": 1.0, \"task\": \"set_link_bandwidth\", \"mb_per_s\": 0}\n]\n",
+      "cmd.json:2", "field \"mb_per_s\" must be a positive number");
+}
+
+TEST(TaskParserTest, NonBooleanRestartRejected) {
+  expect_rejection(
+      "[\n{\"id\": 1, \"at_s\": 1.0, \"task\": \"crash_host\", \"host\": 0, \"restart\": 1}\n]\n",
+      "cmd.json:2", "field \"restart\" must be a boolean");
+}
+
+TEST(TaskParserTest, NonStringNoteRejected) {
+  expect_rejection(
+      "[\n{\"id\": 1, \"at_s\": 1.0, \"task\": \"annotate\", \"note\": 3}\n]\n",
+      "cmd.json:2", "field \"note\" must be a string");
+}
+
+TEST(TaskParserTest, UnknownFieldRejectedPerKind) {
+  // `note` is legal on annotate but not on migrate — field sets are
+  // per-kind, not a global union.
+  expect_rejection(
+      "[\n{\"id\": 1, \"at_s\": 1.0, \"task\": \"migrate\", \"vm\": 0, \"host\": 1, "
+      "\"note\": \"x\"}\n]\n",
+      "cmd.json:2", "unknown field \"note\" for task kind \"migrate\"");
+}
+
+TEST(TaskParserTest, StrayHostOnStopVmRejected) {
+  expect_rejection(
+      "[\n{\"id\": 1, \"at_s\": 1.0, \"task\": \"stop_vm\", \"vm\": 0, \"host\": 1}\n]\n",
+      "cmd.json:2", "unknown field \"host\" for task kind \"stop_vm\"");
+}
+
+TEST(TaskParserTest, DuplicateJsonKeyRejected) {
+  expect_rejection(
+      "[\n{\"id\": 1, \"id\": 2, \"at_s\": 1.0, \"task\": \"annotate\"}\n]\n",
+      "cmd.json:2", "duplicate object key \"id\"");
+}
+
+TEST(TaskParserTest, TrailingCommaRejected) {
+  expect_rejection(
+      "[\n{\"id\": 1, \"at_s\": 1.0, \"task\": \"annotate\"},\n]\n",
+      "cmd.json:3", "trailing comma in array");
+}
+
+TEST(TaskParserTest, UnterminatedStringRejected) {
+  expect_rejection("[\n{\"id\": 1, \"at_s\": 1.0, \"task\": \"anno", "cmd.json:2",
+                   "unterminated string");
+}
+
+TEST(TaskParserTest, InvalidEscapeRejected) {
+  expect_rejection(
+      "[\n{\"id\": 1, \"at_s\": 1.0, \"task\": \"annotate\", \"note\": \"\\q\"}\n]\n",
+      "cmd.json:2", "invalid escape");
+}
+
+TEST(TaskParserTest, SurrogateEscapeRejected) {
+  expect_rejection(
+      "[\n{\"id\": 1, \"at_s\": 1.0, \"task\": \"annotate\", \"note\": \"\\ud800\"}\n]\n",
+      "cmd.json:2", "surrogate \\u escape not supported");
+}
+
+// --- result-log serialization --------------------------------------------
+
+TEST(TaskResultTest, SerializesDeterministically) {
+  std::vector<TaskResult> results;
+  results.push_back({1, common::seconds(10), TaskKind::kMigrate, TaskStatus::kOk, "", ""});
+  results.push_back({2, common::msec(12'500), TaskKind::kCrashHost,
+                     TaskStatus::kRejected, "host 0 is the last live host", ""});
+  results.push_back({3, common::seconds(35), TaskKind::kAnnotate, TaskStatus::kOk, "",
+                     "shift change"});
+  EXPECT_EQ(serialize_results(results),
+            "[\n"
+            "{\"id\": 1, \"at_s\": 10.000000, \"task\": \"migrate\", \"status\": \"ok\"},\n"
+            "{\"id\": 2, \"at_s\": 12.500000, \"task\": \"crash_host\", \"status\": "
+            "\"rejected\", \"reason\": \"host 0 is the last live host\"},\n"
+            "{\"id\": 3, \"at_s\": 35.000000, \"task\": \"annotate\", \"status\": \"ok\", "
+            "\"note\": \"shift change\"}\n"
+            "]\n");
+}
+
+TEST(TaskResultTest, EmptyLogSerializes) {
+  EXPECT_EQ(serialize_results({}), "[\n]\n");
+}
+
+TEST(TaskResultTest, AnnotationStreamIsAFixedPoint) {
+  // results_to_annotations must emit a PARSEABLE stream whose execution
+  // (every annotate passes its note through verbatim) re-records to the
+  // same annotation stream — the property the replay test closes over a
+  // full cluster run.
+  std::vector<TaskResult> results;
+  results.push_back({1, common::seconds(10), TaskKind::kMigrate, TaskStatus::kRejected,
+                     "vm 3 already in flight", ""});
+  results.push_back({2, common::seconds(20), TaskKind::kAnnotate, TaskStatus::kOk, "",
+                     "note with \"quotes\" and\nnewline"});
+  const std::string stream = results_to_annotations(results);
+
+  const auto tasks = parse_tasks(stream, "<annotations>", {8, 64});
+  ASSERT_EQ(tasks.size(), 2u);
+  EXPECT_EQ(tasks[0].kind, TaskKind::kAnnotate);
+  EXPECT_EQ(tasks[0].note, "migrate:rejected:vm 3 already in flight");
+  EXPECT_EQ(tasks[1].note, "note with \"quotes\" and\nnewline");
+
+  // Execute the annotations (an annotate's result is its note, status ok)
+  // and re-record: byte-identical.
+  std::vector<TaskResult> rerun;
+  for (const Task& t : tasks)
+    rerun.push_back({t.id, t.at, TaskKind::kAnnotate, TaskStatus::kOk, "", t.note});
+  EXPECT_EQ(results_to_annotations(rerun), stream);
+}
+
+TEST(TaskResultTest, EscapeRoundTripsThroughTheParser) {
+  const std::string raw = "a\"b\\c\nd\te\rf";
+  const std::string text =
+      "[{\"id\": 1, \"at_s\": 0.0, \"task\": \"annotate\", \"note\": \"" +
+      json::escape(raw) + "\"}]";
+  const auto tasks = parse_tasks(text, "esc.json");
+  ASSERT_EQ(tasks.size(), 1u);
+  EXPECT_EQ(tasks[0].note, raw);
+}
+
+}  // namespace
+}  // namespace pas::ctl

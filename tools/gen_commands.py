@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Generate external command streams (the ctl::parse_tasks JSON format).
+
+Writes a JSON array of control-plane tasks — one object per line, unique
+ascending ids, non-decreasing `at_s` timestamps — that
+`bench_cluster_consolidation --commands=FILE` and `tools/pas_ctl` feed to
+`ctl::ControlPlane`. Deterministic for a given (seed, hosts, vms, horizon,
+count): the bundled set under examples/commands/ was produced by the
+commands in examples/commands/README.md and can be regenerated bit-for-bit.
+
+The mix models a day of orchestrator traffic: operator migrations, a
+stop/start maintenance pair per stopped VM, an occasional crash drill with
+a later restart attempt, link-bandwidth changes, and shift-change
+annotations. Ids and hosts are drawn in range for the target fleet, so a
+generated stream parses cleanly against --hosts/--vms dims; whether each
+command is *accepted* still depends on cluster state at fire time (that is
+the point — the result log records it).
+
+Usage:
+  tools/gen_commands.py --out=examples/commands/smoke.json \
+      --seed=1 --hosts=8 --vms=64 --horizon=400 --count=12
+"""
+
+import argparse
+import random
+import sys
+
+
+def gen_tasks(rng: random.Random, hosts: int, vms: int, horizon: float,
+              count: int) -> list[dict]:
+    tasks = []
+    stopped = []  # VMs with a pending start (stop/start pairs stay matched)
+    crashed = []  # hosts hit by a drill (restart targets avoid them)
+    next_id = 1
+
+    def live_host() -> int:
+        alive = [h for h in range(hosts) if h not in crashed]
+        return rng.choice(alive) if alive else 0
+
+    times = sorted(round(rng.uniform(0.03, 0.95) * horizon, 6) for _ in range(count))
+    for at in times:
+        task = {"id": next_id, "at_s": at}
+        next_id += 1
+        roll = rng.random()
+        if stopped and roll < 0.2:
+            task["task"] = "start_vm"
+            task["vm"] = stopped.pop(0)
+            task["host"] = live_host()
+        elif roll < 0.45:
+            task["task"] = "migrate"
+            task["vm"] = rng.randrange(vms)
+            task["host"] = live_host()
+        elif roll < 0.6:
+            task["task"] = "stop_vm"
+            vm = rng.randrange(vms)
+            task["vm"] = vm
+            stopped.append(vm)
+        elif roll < 0.68 and len(crashed) < hosts - 2:
+            task["task"] = "crash_host"
+            victim = live_host()
+            task["host"] = victim
+            task["restart"] = rng.random() < 0.75
+            crashed.append(victim)
+        elif roll < 0.76 and crashed:
+            # A later what-if: try restarting something onto a live host.
+            task["task"] = "restart_vm"
+            task["vm"] = rng.randrange(vms)
+            task["host"] = live_host()
+        elif roll < 0.88:
+            task["task"] = "set_link_bandwidth"
+            task["mb_per_s"] = round(rng.uniform(40.0, 160.0), 3)
+        else:
+            task["task"] = "annotate"
+            task["note"] = f"shift change #{task['id']}"
+        tasks.append(task)
+    return tasks
+
+
+def format_task(task: dict) -> str:
+    parts = [f'"id": {task["id"]}', f'"at_s": {task["at_s"]:.6f}',
+             f'"task": "{task["task"]}"']
+    for key in ("vm", "host"):
+        if key in task:
+            parts.append(f'"{key}": {task[key]}')
+    if "restart" in task:
+        parts.append(f'"restart": {"true" if task["restart"] else "false"}')
+    if "mb_per_s" in task:
+        parts.append(f'"mb_per_s": {task["mb_per_s"]:.3f}')
+    if "note" in task:
+        parts.append(f'"note": "{task["note"]}"')
+    return "{" + ", ".join(parts) + "}"
+
+
+def main(argv: list[str]) -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--out", required=True, help="output JSON path")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--hosts", type=int, default=8)
+    p.add_argument("--vms", type=int, default=64)
+    p.add_argument("--horizon", type=float, default=400.0,
+                   help="run length the stream targets, seconds")
+    p.add_argument("--count", type=int, default=12, help="number of tasks")
+    args = p.parse_args(argv)
+
+    if args.hosts < 2 or args.vms < 1 or args.count < 1 or args.horizon <= 0:
+        p.error("need --hosts >= 2, --vms >= 1, --count >= 1, --horizon > 0")
+
+    rng = random.Random(args.seed)
+    tasks = gen_tasks(rng, args.hosts, args.vms, args.horizon, args.count)
+
+    with open(args.out, "w", newline="\n") as f:
+        f.write("[\n")
+        for i, task in enumerate(tasks):
+            f.write(format_task(task) + ("," if i + 1 < len(tasks) else "") + "\n")
+        f.write("]\n")
+    kinds = sorted({t["task"] for t in tasks})
+    print(f"wrote {args.out}: {len(tasks)} task(s), kinds: {', '.join(kinds)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
