@@ -77,6 +77,12 @@
 // and --require-scale-planner-ns a ceiling on incremental planner ns per
 // manager tick (all full runs only — --smoke is exempt, scale needs scale).
 //
+// Every invocation also reports the sparse driver's dispatch counters in
+// the `engine{...}` JSON block (segments / dispatches / bulk_skips /
+// active_fraction / pool_grain, taken from the scale run when present,
+// else the 8x64 fast run); --require-active-fraction=X turns the fraction
+// into a CI ceiling on the scale tier (full runs only, --smoke exempt).
+//
 // Usage: bench_cluster_consolidation [--smoke] [--horizon=SECONDS]
 //          [--hosts=8] [--vms=64] [--out=BENCH_cluster.json]
 //          [--require-rate=RATE] [--threads=N]
@@ -85,7 +91,7 @@
 //          [--trace=DIR] [--chaos-seed=N] [--commands=FILE]
 //          [--scale-hosts=N] [--scale-vms=N] [--scale-horizon=SECONDS]
 //          [--require-scale-rate=RATE] [--require-planner-speedup=X]
-//          [--require-scale-planner-ns=NS]
+//          [--require-scale-planner-ns=NS] [--require-active-fraction=X]
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -229,6 +235,13 @@ int main(int argc, char** argv) {
   const double speedup = slow_wall / fast_wall;
   std::printf("  speedup: %.2fx   traces identical: %s\n", speedup,
               identical ? "yes" : "NO — BUG");
+
+  // Sparse-driver telemetry comes from the most representative fleet this
+  // invocation runs: the scale tier when present (consolidation parks most
+  // of a big fleet, which is what the active-fraction gate is about),
+  // otherwise the 8x64 fast run. Overwritten in the scale block below.
+  pas::cluster::EngineStats engine_stats = fast->engine_stats();
+  std::size_t engine_grain = fast->config().execution.pool_grain;
 
   // --- the parallel engine: same scenario, host segments on a pool ---
   // --threads follows ExecutionPolicy semantics: 1 (the default) = serial
@@ -599,6 +612,11 @@ int main(int argc, char** argv) {
     cfg_scale.vms = scale_vms;
     cfg_scale.horizon = scale_horizon;
     cfg_scale.fast_path = true;
+    // The scale tier exercises the full engine: sparse partition on the
+    // coordinating thread, pooled dispatch of the active remainder at
+    // --threads. Both sides of the legacy/incremental A/B get the same
+    // executors, so the planner comparison stays apples-to-apples.
+    cfg_scale.threads = threads;
 
     std::printf("\n  scale tier: %zu hosts x %zu VMs, %ld simulated s\n",
                 scale_hosts, scale_vms, scale_horizon_s);
@@ -613,6 +631,8 @@ int main(int argc, char** argv) {
     auto sc_inc = pas::scenario::build_hosting_cluster(cfg_inc);
     const double inc_wall = run_timed(*sc_inc, scale_horizon);
     scale_rate = static_cast<double>(scale_horizon_s) / inc_wall;
+    engine_stats = sc_inc->engine_stats();
+    engine_grain = sc_inc->config().execution.pool_grain;
 
     scale_identical = clusters_identical(*sc_leg, *sc_inc);
 
@@ -678,6 +698,35 @@ int main(int argc, char** argv) {
     scale_json = buf;
   }
 
+  // --- engine telemetry: the sparse driver's dispatch counters ---
+  // active_fraction = dispatches / (dispatches + bulk_skips): how much of
+  // the fleet the engine really had to step. On a consolidated scale fleet
+  // it should sit well below 1 — --require-active-fraction turns that into
+  // a CI ceiling (scale tier only; --smoke exempt, a short horizon barely
+  // consolidates).
+  std::string engine_json;
+  {
+    std::printf("\n  engine: %llu segment(s), %llu dispatch(es), %llu bulk skip(s)   "
+                "active fraction %.3f   pool grain %zu\n",
+                static_cast<unsigned long long>(engine_stats.segments),
+                static_cast<unsigned long long>(engine_stats.dispatches),
+                static_cast<unsigned long long>(engine_stats.bulk_skips),
+                engine_stats.active_fraction(), engine_grain);
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"engine\": {\n"
+                  "    \"segments\": %llu,\n"
+                  "    \"dispatches\": %llu,\n"
+                  "    \"bulk_skips\": %llu,\n"
+                  "    \"active_fraction\": %.6f,\n"
+                  "    \"pool_grain\": %zu\n  },\n",
+                  static_cast<unsigned long long>(engine_stats.segments),
+                  static_cast<unsigned long long>(engine_stats.dispatches),
+                  static_cast<unsigned long long>(engine_stats.bulk_skips),
+                  engine_stats.active_fraction(), engine_grain);
+    engine_json = buf;
+  }
+
   {
     std::ofstream js{out};
     if (!js) {
@@ -714,7 +763,8 @@ int main(int argc, char** argv) {
     js << buf;
     // The optional blocks embed unbounded strings (class names, the
     // --trace path): streamed, not snprintf'd, so they cannot truncate.
-    js << hetero_json << trace_json << chaos_json << control_json << scale_json;
+    js << hetero_json << trace_json << chaos_json << control_json << scale_json
+       << engine_json;
     std::snprintf(buf, sizeof(buf),
                   "  \"migrations\": %zu,\n"
                   "  \"hosts_on_final\": %zu\n"
@@ -782,6 +832,18 @@ int main(int argc, char** argv) {
     if (inc_ns_per_tick > ns_ceiling) {
       std::printf("  FAIL: planner %.0f ns/tick above the %.0f ceiling\n",
                   inc_ns_per_tick, ns_ceiling);
+      return 1;
+    }
+  }
+  const double af_ceiling = flags.get_double("require-active-fraction", 0.0);
+  if (af_ceiling > 0.0 && !flags.has("smoke")) {
+    if (scale_hosts == 0) {
+      std::printf("  FAIL: --require-active-fraction needs --scale-hosts > 0\n");
+      return 1;
+    }
+    if (engine_stats.active_fraction() > af_ceiling) {
+      std::printf("  FAIL: engine active fraction %.3f above the %.3f ceiling\n",
+                  engine_stats.active_fraction(), af_ceiling);
       return 1;
     }
   }

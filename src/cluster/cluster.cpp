@@ -501,17 +501,38 @@ ClusterVmStats Cluster::vm_stats(GlobalVmId vm) const {
 }
 
 void Cluster::advance_hosts(common::SimTime target) {
+  ++engine_stats_.segments;
+  // Activity partition, on the coordinating thread: a host whose
+  // quiescence certificate covers the whole segment is crossed in one
+  // bulk skip (energy chunks, trace rows and periodic-event order all
+  // byte-identical to running it — hv::Host::skip_idle_to); the rest
+  // form the active list. The partition reads only per-host state, so
+  // its outcome — and therefore every dispatched computation — is
+  // independent of thread count.
+  active_hosts_.clear();
+  for (std::size_t h = 0; h < hosts_.size(); ++h) {
+    if (hosts_[h]->next_activity_time() > target) {
+      hosts_[h]->skip_idle_to(target);
+      ++engine_stats_.bulk_skips;
+    } else {
+      active_hosts_.push_back(h);
+    }
+  }
+  engine_stats_.dispatches += active_hosts_.size();
   if (!pool_) {  // serial driver
-    for (auto& host : hosts_) host->run_until(target);
+    for (const std::size_t h : active_hosts_) hosts_[h]->run_until(target);
     return;
   }
   // Pooled driver: each index touches exactly one host and hosts share no
   // mutable state between cluster events (the hv::Host contract), so the
   // fork-join computes precisely what the serial loop does — in whatever
   // thread interleaving — and the barrier restores the synchronized-fleet
-  // picture before any cluster event can look.
-  pool_->parallel_for(hosts_.size(),
-                      [&](std::size_t h) { hosts_[h]->run_until(target); });
+  // picture before any cluster event can look. Only active hosts pay the
+  // dispatch; the grain batches them per shared-counter hit.
+  pool_->parallel_for(
+      active_hosts_.size(),
+      [this, target](std::size_t k) { hosts_[active_hosts_[k]]->run_until(target); },
+      cfg_.execution.pool_grain);
 }
 
 void Cluster::run_until(common::SimTime until) {
@@ -539,12 +560,24 @@ void Cluster::run_until(common::SimTime until) {
     // themselves always run serially on this thread, in the queue's
     // deterministic (time, insertion-sequence) order, whatever
     // ExecutionPolicy says.
-    const common::SimTime target = std::min(until, events_.next_event_time(until));
-    if (target > now_) {
-      advance_hosts(target);
-      now_ = target;
+    const common::SimTime next_event = events_.next_event_time(until);
+    if (events_.empty() || next_event > until) {
+      // Empty tail: no cluster event fires in (now_, until], so the whole
+      // remainder is one segment — one head comparison, one bulk advance,
+      // no per-iteration queue dispatch.
+      advance_hosts(until);
+      now_ = until;
+      break;
+    }
+    if (next_event > now_) {
+      advance_hosts(next_event);
+      now_ = next_event;
     }
     events_.run_until(now_);
+    // The queue removes cancelled entries eagerly, so firing leaves the
+    // head strictly in the future (or the queue empty) — the invariant
+    // that lets the next iteration trust a single peek.
+    assert(events_.next_event_time(until) > now_ || events_.empty());
   }
 }
 

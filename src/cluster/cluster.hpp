@@ -96,6 +96,25 @@ struct ExecutionPolicy {
   /// (no pool, no worker threads); 0 = one executor per hardware thread;
   /// N > 1 = a pool of N-1 workers plus the coordinating thread.
   std::size_t threads = 1;
+  /// Consecutive active-host indices each pool executor claims per shared-
+  /// counter hit (common::ThreadPool::parallel_for grain). Scheduling only
+  /// — which hosts advance, and to what state, never depends on it.
+  std::size_t pool_grain = common::ThreadPool::kDefaultGrain;
+};
+
+/// Sparse-driver telemetry: of the host-segments each run_until cut, how
+/// many were really dispatched (Host::run_until) vs bulk-skipped on a
+/// quiescence certificate (Host::skip_idle_to). A consolidated fleet
+/// should show active_fraction well below 1 — the engine-scaling claim
+/// the cluster bench gates (docs/BENCHMARKS.md, engine block).
+struct EngineStats {
+  std::uint64_t segments = 0;    // advance_hosts calls
+  std::uint64_t dispatches = 0;  // hosts stepped the honest way
+  std::uint64_t bulk_skips = 0;  // hosts crossed in one skip
+  [[nodiscard]] double active_fraction() const {
+    const double total = static_cast<double>(dispatches + bulk_skips);
+    return total > 0.0 ? static_cast<double>(dispatches) / total : 1.0;
+  }
 };
 
 struct ClusterConfig {
@@ -370,6 +389,9 @@ class Cluster {
     return pool_ ? pool_->thread_count() : 1;
   }
 
+  /// Sparse-driver dispatch counters for the run so far.
+  [[nodiscard]] const EngineStats& engine_stats() const { return engine_stats_; }
+
  private:
   void install_periodic_tasks();
   /// Advances every host to `target` — the serial loop or the pooled
@@ -424,6 +446,11 @@ class Cluster {
 
   common::SimTime now_{};
   bool started_ = false;
+
+  EngineStats engine_stats_;
+  /// Scratch for advance_hosts' activity partition (hosts that must really
+  /// run this segment); reused so the per-segment pass is allocation-free.
+  std::vector<std::size_t> active_hosts_;
 };
 
 }  // namespace pas::cluster

@@ -1,13 +1,16 @@
 // Fixed-size fork-join worker pool — the cluster layer's parallel driver.
 //
-// The only primitive offered is parallel_for(n, body): run body(0..n-1)
-// once each, on the pool plus the calling thread, and return when every
-// index has completed. Indices are handed out through a single atomic
-// counter, so the assignment of index -> OS thread is nondeterministic —
-// which is exactly why the pool is safe for the cluster's determinism
-// contract: bodies must touch only state owned by their index (one
-// hv::Host each), so *what* each body computes is independent of *where*
-// it runs. See docs/ARCHITECTURE.md ("parallel ≡ serial").
+// The only primitive offered is parallel_for(n, body, grain): run
+// body(0..n-1) once each, on the pool plus the calling thread, and return
+// when every index has completed. Indices are handed out in *chunks* of
+// `grain` through a single atomic counter, so the assignment of chunk ->
+// OS thread is nondeterministic — which is exactly why the pool is safe
+// for the cluster's determinism contract: bodies must touch only state
+// owned by their index (one hv::Host each), so *what* each body computes
+// is independent of *where* it runs. Within a chunk indices run in
+// ascending order on one thread; chunking only reduces how often the
+// executors hit the shared counter, it never changes which indices run.
+// See docs/ARCHITECTURE.md ("parallel ≡ serial").
 //
 // Semantics:
 //   * ThreadPool(t) provides t executors total: t-1 workers plus the
@@ -18,9 +21,13 @@
 //     call, so a second parallel_for can never race the tail of the
 //     first. Not reentrant and not thread-safe across callers — one
 //     coordinating thread drives the pool (the cluster run loop).
+//   * Bodies are stored in a common::InplaceFunction whose inline buffer
+//     must absorb the capture (compile-time enforced), so issuing a
+//     parallel_for never heap-allocates — the cluster fires one per
+//     segment, thousands of times per simulated run.
 //   * Exceptions thrown by bodies are captured and the one from the
 //     LOWEST index is rethrown after the barrier — deterministic no
-//     matter how the indices were interleaved. Later indices still run
+//     matter how the chunks were interleaved. Later indices still run
 //     (an index is never skipped because an earlier one threw).
 //   * Destruction with no parallel_for ever issued is clean shutdown.
 #pragma once
@@ -30,17 +37,29 @@
 #include <cstddef>
 #include <cstdint>
 #include <exception>
-#include <functional>
 #include <limits>
 #include <mutex>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
+
+#include "common/inplace_function.hpp"
 
 namespace pas::common {
 
 class ThreadPool {
  public:
-  using Body = std::function<void(std::size_t)>;
+  /// Inline capture budget for loop bodies: six pointers. Large enough for
+  /// every driver in the tree (the cluster segment body captures a Cluster*
+  /// and a SimTime), small enough that blowing it is a design smell.
+  static constexpr std::size_t kBodyCapacity = 48;
+  using Body = InplaceFunction<void(std::size_t), kBodyCapacity>;
+
+  /// Default chunk size for index hand-out. Segment bodies are a few µs
+  /// each; 8 per counter hit keeps the atomic off the profile while still
+  /// load-balancing fleets where a handful of hosts dominate.
+  static constexpr std::size_t kDefaultGrain = 8;
 
   /// `threads` = total executors (workers + the participating caller);
   /// 0 resolves to hardware_threads().
@@ -73,9 +92,29 @@ class ThreadPool {
     return hw == 0 ? 1 : hw;
   }
 
-  /// Runs body(i) exactly once for every i in [0, n); returns after all
-  /// completed. Rethrows the lowest-index exception, if any.
-  void parallel_for(std::size_t n, const Body& body) {
+  /// Runs f(i) exactly once for every i in [0, n); returns after all
+  /// completed. Rethrows the lowest-index exception, if any. `grain` is
+  /// the number of consecutive indices claimed per counter hit (0 is
+  /// treated as 1); it affects scheduling only, never which indices run.
+  template <typename F>
+  void parallel_for(std::size_t n, F&& f, std::size_t grain = kDefaultGrain) {
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kBodyCapacity,
+                  "parallel_for body capture exceeds the inline budget; "
+                  "shrink the capture (pointers, not copies) instead of "
+                  "silently heap-allocating per call");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>,
+                  "parallel_for body must be inline-storable (plain "
+                  "nothrow-movable capture)");
+    Body body(std::forward<F>(f));
+    run(n, body, grain == 0 ? 1 : grain);
+  }
+
+ private:
+  static constexpr std::size_t kNoError = std::numeric_limits<std::size_t>::max();
+
+  void run(std::size_t n, Body& body, std::size_t grain) {
     if (n == 0) return;
     if (workers_.empty() || n == 1) {
       // Inline path — same error semantics as the pooled one: every index
@@ -94,6 +133,7 @@ class ThreadPool {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       job_n_ = n;
+      job_grain_ = grain;
       job_body_ = &body;
       next_index_.store(0, std::memory_order_relaxed);
       workers_done_ = 0;
@@ -102,28 +142,29 @@ class ThreadPool {
       ++generation_;
     }
     job_cv_.notify_all();
-    drain(n, body);  // the caller is executor 0
+    drain(n, grain, body);  // the caller is executor 0
     std::unique_lock<std::mutex> lock(mutex_);
     done_cv_.wait(lock, [this] { return workers_done_ == workers_.size(); });
     if (error_) std::rethrow_exception(error_);
   }
 
- private:
-  static constexpr std::size_t kNoError = std::numeric_limits<std::size_t>::max();
-
-  /// Pulls indices until the job is exhausted; never throws (errors are
-  /// parked for the post-barrier rethrow).
-  void drain(std::size_t n, const Body& body) {
+  /// Claims chunks of `grain` consecutive indices until the job is
+  /// exhausted; never throws (errors are parked for the post-barrier
+  /// rethrow, and an index throwing never skips the rest of its chunk).
+  void drain(std::size_t n, std::size_t grain, Body& body) {
     for (;;) {
-      const std::size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      try {
-        body(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (i < error_index_) {
-          error_index_ = i;
-          error_ = std::current_exception();
+      const std::size_t base = next_index_.fetch_add(grain, std::memory_order_relaxed);
+      if (base >= n) return;
+      const std::size_t end = n - base < grain ? n : base + grain;
+      for (std::size_t i = base; i < end; ++i) {
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mutex_);
+          if (i < error_index_) {
+            error_index_ = i;
+            error_ = std::current_exception();
+          }
         }
       }
     }
@@ -137,9 +178,10 @@ class ThreadPool {
       if (stop_) return;
       seen = generation_;
       const std::size_t n = job_n_;
-      const Body* body = job_body_;
+      const std::size_t grain = job_grain_;
+      Body* body = job_body_;
       lock.unlock();
-      drain(n, *body);
+      drain(n, grain, *body);
       lock.lock();
       // Every worker checks in once per generation — the barrier that lets
       // parallel_for reuse the job slots immediately after returning.
@@ -155,7 +197,8 @@ class ThreadPool {
   std::uint64_t generation_ = 0;     // guarded by mutex_
   bool stop_ = false;                // guarded by mutex_
   std::size_t job_n_ = 0;            // guarded by mutex_ at publication
-  const Body* job_body_ = nullptr;   // guarded by mutex_ at publication
+  std::size_t job_grain_ = 1;        // guarded by mutex_ at publication
+  Body* job_body_ = nullptr;         // guarded by mutex_ at publication
   std::size_t workers_done_ = 0;     // guarded by mutex_
   std::size_t error_index_ = kNoError;  // guarded by mutex_
   std::exception_ptr error_;            // guarded by mutex_

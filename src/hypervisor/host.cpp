@@ -46,7 +46,10 @@ common::VmId Host::add_vm(VmConfig config, std::unique_ptr<wl::Workload> workloa
     wl_runnable_.push_back(0);
     wl_hint_.push_back(common::SimTime{});
     wl_ran_.push_back(1);
+    any_ran_ = true;
+    hint_floor_ = common::SimTime{};
     active_dirty_ = true;
+    activity_dirty_ = true;
     trace_->grow_vm_count(vms_.size());
     view_ = HostView{&cpufreq_, &monitor_, scheduler_.get(), vm_ids_, initial_credits_};
     if (controller_) controller_->attach(view_);
@@ -73,20 +76,24 @@ void Host::notify_workload_changed(common::VmId id) {
     throw std::logic_error("Host: notify_workload_changed while the host is advancing "
                            "(cross-host mutation must wait for the segment boundary)");
   if (id >= vms_.size()) throw std::out_of_range("Host: bad VM id");
+  activity_dirty_ = true;
   if (!tasks_installed_) return;  // the first quantum polls everything anyway
   // Treat the slot exactly like one that just ran: the cached runnable flag
   // and transition hint may be stale, so the next refresh re-polls it.
   wl_ran_[id] = 1;
+  any_ran_ = true;
 }
 
 void Host::set_governor(std::unique_ptr<gov::Governor> governor) {
   if (tasks_installed_) throw std::logic_error("Host: set_governor after run started");
   governor_ = std::move(governor);
+  activity_dirty_ = true;
 }
 
 void Host::set_controller(std::unique_ptr<Controller> controller) {
   if (tasks_installed_) throw std::logic_error("Host: set_controller after run started");
   controller_ = std::move(controller);
+  activity_dirty_ = true;
 }
 
 double Host::window_wanting_fraction(common::VmId id) const {
@@ -107,6 +114,8 @@ void Host::install_periodic_tasks() {
   wl_runnable_.assign(vms_.size(), 0);
   wl_hint_.assign(vms_.size(), common::SimTime{});
   wl_ran_.assign(vms_.size(), 0);
+  any_ran_ = true;  // conservative: the first refresh must scan everything
+  hint_floor_ = common::SimTime{};
   active_ids_.reserve(vms_.size());
   runnable_scratch_.reserve(vms_.size());
   active_dirty_ = true;
@@ -139,6 +148,7 @@ void Host::install_periodic_tasks() {
         events_, p, p, [this](common::SimTime t) { controller_tick(t); }));
   }
   if (cfg_.trace_stride.us() > 0) {
+    trace_task_index_ = tasks_.size();
     tasks_.push_back(std::make_unique<sim::PeriodicTask>(
         events_, cfg_.trace_stride, cfg_.trace_stride,
         [this](common::SimTime t) { trace_tick(t); }));
@@ -209,7 +219,19 @@ void Host::refresh_workloads(bool advance_runnable) {
       }
       vm.blocked_this_slice = false;
     }
+  } else if (!any_ran_ && hint_floor_ > now_) {
+    // Sparse refresh: no slot consumed a slice since the last full scan
+    // and no transition hint has expired, so the scan below would only
+    // deliver arrivals to still-runnable VMs — every other branch is
+    // provably dead (a set blocked_this_slice implies a set wl_ran_, so
+    // those flags are all clear too). Walk just the active list; the
+    // runnable set cannot move, so active_ids_ stays valid.
+    assert(!active_dirty_);
+    if (advance_runnable)
+      for (const common::VmId id : active_ids_) vms_[id].workload->advance_to(now_);
+    return;
   } else {
+    common::SimTime floor = wl::kNoTransition;
     for (auto& vm : vms_) {
       const auto id = vm.id;
       if (wl_ran_[id] || wl_hint_[id] <= now_) {
@@ -232,7 +254,12 @@ void Host::refresh_workloads(bool advance_runnable) {
       // advance_to coarsening invariant (workload.hpp) makes the deferred
       // catch-up call indistinguishable.
       vm.blocked_this_slice = false;
+      floor = std::min(floor, wl_hint_[id]);
     }
+    // The scan cleared every ran flag and re-polled every expired hint;
+    // the aggregates are exact again until the next consume/notify.
+    any_ran_ = false;
+    hint_floor_ = floor;
   }
   if (active_dirty_) {
     active_ids_.clear();
@@ -304,6 +331,7 @@ void Host::run_quantum(common::SimTime slice_end) {
     const common::Work budget = cpu_.work_for(span) * eff;
     const common::Work done = v.workload->consume(t, budget);
     wl_ran_[chosen] = 1;  // consume may have changed runnable-ness: re-poll
+    any_ran_ = true;
     common::SimTime busy;
     if (done >= budget) {
       busy = span;
@@ -406,6 +434,158 @@ void Host::skip_idle_time(common::SimTime until) {
   }
 }
 
+common::SimTime Host::compute_next_activity() const {
+  // Quiescence certificate: every condition below must hold for a bulk
+  // skip to reproduce the reference loop byte for byte. Each line names
+  // the divergence it rules out.
+  if (!cfg_.event_driven_fast_path || !tasks_installed_) return now_;
+  // Governor/controller ticks read monitor state and move frequency/caps;
+  // replaying them is the reference loop's job.
+  if (governor_ || controller_) return now_;
+  // An over-cap tail accrues window_wanting per skipped instant and wakes
+  // on credit refills — only a fully idle (no-runnable) host is inert.
+  if (idle_tail_ != IdleTail::kNoRunnable) return now_;
+  if (!active_ids_.empty()) return now_;
+  for (const auto& vm : vms_) {
+    const auto id = vm.id;
+    // A consumed/notified slot or an expired hint forces a re-poll; a
+    // pending window_wanting or saturation flag would alter the next
+    // monitor close; any of these and the host must really run.
+    if (wl_ran_[id] || wl_runnable_[id]) return now_;
+    if (wl_hint_[id] <= now_) return now_;
+    if (vm.window_wanting != common::SimTime{}) return now_;
+    if (saturated_last_window_[id]) return now_;
+  }
+  // The periodic fires crossed by a skip must be provable no-ops: credits
+  // at the refill fixed point, monitor reading all-zero with full
+  // smoothing rings.
+  if (!scheduler_->refill_settled()) return now_;
+  if (!monitor_.idle_settled()) return now_;
+  // The host schedules exclusively through its periodic tasks; the merge
+  // in skip_idle_to relies on that being the whole queue.
+  assert(events_.pending() == tasks_.size());
+  // Inert until the earliest workload self-transition (kNoTransition for
+  // a host of pure idlers: skippable to any horizon).
+  return earliest_transition_hint();
+}
+
+common::SimTime Host::next_activity_time() {
+  if (activity_dirty_) {
+    activity_cache_ = compute_next_activity();
+    activity_dirty_ = false;
+  }
+  return activity_cache_;
+}
+
+void Host::skip_idle_to(common::SimTime target) {
+  if (target <= now_) return;
+  if (next_activity_time() < target) {
+    // The certificate does not cover the span (or the host is simply not
+    // quiescent): take the honest path. Misuse costs time, never bytes.
+    run_until(target);
+    return;
+  }
+  if (advancing_.load(std::memory_order_relaxed))
+    throw std::logic_error("Host: skip_idle_to while the host is advancing");
+  struct AdvanceGuard {
+    std::atomic<bool>& flag;
+    ~AdvanceGuard() { flag.store(false, std::memory_order_relaxed); }
+  } guard{advancing_};
+  advancing_.store(true, std::memory_order_relaxed);
+
+  // What the reference loop would do from a quiescent state: one
+  // quantum-bounded idle chunk (run_quantum), then skip_idle_time hopping
+  // event instant to event instant, firing the periodic tasks in exact
+  // (time, seq) order — each a state no-op except the trace sampler —
+  // and recording one idle energy chunk per hop. Frequency cannot change
+  // (no governor/controller and nothing runs), so one ratio read serves
+  // every chunk, exactly as each reference segment would have read it.
+  const double ratio = cpu_.current_ratio();
+
+  // Local merge simulation over the periodic tasks. Seqs start above
+  // every live entry and grow per simulated fire, mirroring the queue's
+  // global counter (a rearm always draws a fresh, largest seq).
+  skip_entries_.clear();
+  std::uint64_t local_seq = 0;
+  common::SimTime first_due = target;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    SkipEntry e;
+    e.due = tasks_[i]->next_due();
+    e.period = tasks_[i]->period();
+    e.seq = tasks_[i]->pending_seq();
+    e.task = i;
+    assert(e.seq != 0 && e.due > now_);
+    local_seq = std::max(local_seq, e.seq);
+    first_due = std::min(first_due, e.due);
+    skip_entries_.push_back(e);
+  }
+  ++local_seq;
+
+  // Chunk 1: the slice run_quantum would have cut at the quantum, the
+  // target or the first event — whichever is earliest.
+  common::SimTime prev = now_;
+  {
+    const common::SimTime b0 = std::min({now_ + cfg_.quantum, target, first_due});
+    if (b0 > prev) {
+      energy_.record(b0 - prev, ratio, common::SimTime{});
+      prev = b0;
+    }
+  }
+
+  // Fire merge: pop the earliest (due, seq) entry up to and including the
+  // target (the reference's trailing events_.run_until fires events due
+  // exactly at `until`). Distinct instants bound energy chunks; the trace
+  // task's fires collect rows.
+  skip_trace_times_.clear();
+  for (;;) {
+    SkipEntry* best = nullptr;
+    for (auto& e : skip_entries_) {
+      if (e.due > target) continue;
+      if (best == nullptr || e.due < best->due ||
+          (e.due == best->due && e.seq < best->seq))
+        best = &e;
+    }
+    if (best == nullptr) break;
+    if (best->due > prev) {
+      energy_.record(best->due - prev, ratio, common::SimTime{});
+      prev = best->due;
+    }
+    if (best->task == trace_task_index_) skip_trace_times_.push_back(best->due);
+    best->seq = local_seq++;
+    best->fired = true;
+    best->due += best->period;
+  }
+  if (target > prev) energy_.record(target - prev, ratio, common::SimTime{});
+
+  idle_total_ += target - now_;
+  now_ = target;
+
+  if (!skip_trace_times_.empty()) {
+    // Every skipped trace row is the same constant row the sampler would
+    // have built: loads zero, caps and frequency unchanged.
+    trace_scratch_credit_.clear();
+    for (const auto& vm : vms_)
+      trace_scratch_credit_.push_back(scheduler_->cap(vm.id));
+    trace_->append_idle_rows(skip_trace_times_, cpu_.current_freq().value(),
+                             trace_scratch_credit_);
+  }
+
+  // Re-arm fired tasks at their simulated dues, in ascending final-seq
+  // order: each rearm draws a fresh (largest) real seq, so the live
+  // queue's relative (time, seq) order — the only observable — matches
+  // the reference exactly. Unfired tasks keep their older (smaller) seqs,
+  // as they would have in the reference.
+  std::sort(skip_entries_.begin(), skip_entries_.end(),
+            [](const SkipEntry& a, const SkipEntry& b) { return a.seq < b.seq; });
+  for (const SkipEntry& e : skip_entries_)
+    if (e.fired) tasks_[e.task]->advance_to(e.due);
+
+  // Quiescence survives a skip by construction (nothing above re-polls a
+  // workload or moves scheduler/monitor state), so the certificate —
+  // bounded by the unchanged transition hints — stays valid: no
+  // activity_dirty_ here. The skip itself cost O(fires), not O(span).
+}
+
 void Host::run_until(common::SimTime until) {
   // No-shared-state contract (see the header): while this host advances —
   // possibly on a worker thread of the cluster's parallel driver — nothing
@@ -419,6 +599,7 @@ void Host::run_until(common::SimTime until) {
     ~AdvanceGuard() { flag.store(false, std::memory_order_relaxed); }
   } guard{advancing_};
   advancing_.store(true, std::memory_order_relaxed);
+  activity_dirty_ = true;  // a real advance invalidates the certificate
   if (!tasks_installed_) {
     install_periodic_tasks();
     tasks_installed_ = true;

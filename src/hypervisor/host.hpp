@@ -105,6 +105,30 @@ class Host {
   /// Advances simulation to absolute time `until`.
   void run_until(common::SimTime until);
 
+  /// Earliest future instant at which this host can perform observable
+  /// work, or now() when that cannot be proven. A return beyond now()
+  /// is a *quiescence certificate*: the host is provably inert — no
+  /// runnable VM, no expired transition hint, no governor/controller,
+  /// scheduler credits at their refill fixed point, monitor reading
+  /// all-zero — until the earliest workload self-transition hint. The
+  /// sparse cluster driver (Cluster::advance_hosts) dispatches a host
+  /// only when this falls at or before the segment target and bulk-skips
+  /// it otherwise. The certificate is cached and invalidated by every
+  /// mutation hatch (run_until, add_vm, notify_workload_changed, the
+  /// non-const accessors), so calling this per segment is O(1) for an
+  /// undisturbed idle host.
+  [[nodiscard]] common::SimTime next_activity_time();
+
+  /// Bulk-advances a quiescent host to `target`, byte-identical to
+  /// run_until(target): the exact energy chunks the reference loop would
+  /// record (one per merged periodic-fire instant), the exact trace rows
+  /// (bulk zero-fill at the trace stride), the exact relative (time, seq)
+  /// order of the re-armed periodic events. Precondition:
+  /// next_activity_time() >= target; falls back to run_until(target)
+  /// when the certificate does not cover the span, so misuse costs time,
+  /// never correctness.
+  void skip_idle_to(common::SimTime target);
+
   /// Replaces a VM slot's workload and returns the previous one — the
   /// mechanism behind live migration: the cluster layer detaches a guest
   /// from its source slot (parking an idle placeholder there) and attaches
@@ -128,12 +152,27 @@ class Host {
   [[nodiscard]] common::SimTime now() const { return now_; }
   [[nodiscard]] std::size_t vm_count() const { return vms_.size(); }
   [[nodiscard]] const Vm& vm(common::VmId id) const { return vms_.at(id); }
-  [[nodiscard]] wl::Workload& workload(common::VmId id) { return *vms_.at(id).workload; }
-  [[nodiscard]] Scheduler& scheduler() { return *scheduler_; }
+  // The non-const accessors are mutation hatches (migration credit moves,
+  // the cluster manager's DVFS requests, calibration overrides), so each
+  // drops the cached quiescence certificate — see next_activity_time().
+  [[nodiscard]] wl::Workload& workload(common::VmId id) {
+    activity_dirty_ = true;
+    return *vms_.at(id).workload;
+  }
+  [[nodiscard]] Scheduler& scheduler() {
+    activity_dirty_ = true;
+    return *scheduler_;
+  }
   [[nodiscard]] const Scheduler& scheduler() const { return *scheduler_; }
-  [[nodiscard]] cpu::Cpufreq& cpufreq() { return cpufreq_; }
+  [[nodiscard]] cpu::Cpufreq& cpufreq() {
+    activity_dirty_ = true;
+    return cpufreq_;
+  }
   [[nodiscard]] const cpu::CpuModel& cpu() const { return cpu_; }
-  [[nodiscard]] cpu::CpuModel& cpu_mutable() { return cpu_; }
+  [[nodiscard]] cpu::CpuModel& cpu_mutable() {
+    activity_dirty_ = true;
+    return cpu_;
+  }
   [[nodiscard]] const metrics::LoadMonitor& monitor() const { return monitor_; }
   [[nodiscard]] const metrics::EnergyMeter& energy() const { return energy_; }
   [[nodiscard]] const metrics::TraceRecorder& trace() const { return *trace_; }
@@ -173,6 +212,8 @@ class Host {
   [[nodiscard]] common::SimTime next_poll_boundary(common::SimTime hint) const;
   /// Jumps `now_` across provably idle quanta (fast path).
   void skip_idle_time(common::SimTime until);
+  /// Recomputes the quiescence certificate (see next_activity_time()).
+  [[nodiscard]] common::SimTime compute_next_activity() const;
   void close_monitor_window(common::SimTime now);
   void governor_tick(common::SimTime now);
   void controller_tick(common::SimTime now);
@@ -198,6 +239,27 @@ class Host {
   sim::EventQueue events_;
   std::vector<std::unique_ptr<sim::PeriodicTask>> tasks_;
   bool tasks_installed_ = false;
+  /// Index of the trace-sampling task within tasks_ (the only periodic
+  /// whose firing writes anywhere during a bulk skip), or npos.
+  std::size_t trace_task_index_ = static_cast<std::size_t>(-1);
+
+  // Cached quiescence certificate (next_activity_time). Dropped by every
+  // mutation hatch; only read/written between segments on the
+  // coordinating thread, so a plain bool is race-free.
+  common::SimTime activity_cache_{};
+  bool activity_dirty_ = true;
+
+  // Scratch for skip_idle_to's periodic-fire merge (allocation-free after
+  // the first skip).
+  struct SkipEntry {
+    common::SimTime due;
+    common::SimTime period;
+    std::uint64_t seq = 0;   // simulated insertion sequence
+    std::size_t task = 0;    // index into tasks_
+    bool fired = false;
+  };
+  std::vector<SkipEntry> skip_entries_;
+  std::vector<common::SimTime> skip_trace_times_;
   // True while run_until is in flight; guards the no-shared-state contract
   // (external mutators throw instead of racing a possibly-parallel segment).
   // Atomic because the violation it exists to catch IS a cross-thread race —
@@ -221,6 +283,13 @@ class Host {
   std::vector<std::uint8_t> wl_ran_;
   std::vector<common::VmId> active_ids_;  // runnable VMs, ascending id
   bool active_dirty_ = true;
+  // Aggregates over the per-VM flags, letting refresh_workloads prove the
+  // full scan a no-op in O(1): any_ran_ is true while some wl_ran_ flag is
+  // set, hint_floor_ is a lower bound on every wl_hint_. With no consumed
+  // slot and no expired hint the scan would only deliver arrivals to
+  // still-runnable VMs — so only the active list is walked.
+  bool any_ran_ = true;
+  common::SimTime hint_floor_{};
 
   // Set by run_quantum: how its scheduling loop ended, and — for an
   // over-cap tail — the exact runnable set the scheduler rejected (the

@@ -114,6 +114,21 @@ class Scheduler {
   /// reference loop (the fuzz suites catch this as a byte-level diff).
   [[nodiscard]] virtual bool rejection_is_stable() const { return true; }
 
+  /// True if the next account() call would be a no-op on all observable
+  /// scheduler state — credits already at their refill fixed point, no
+  /// under/over tier moves pending, no cursor advance. The host's bulk
+  /// idle skip (Host::skip_idle_to) uses this to prove that replaying the
+  /// remaining accounting ticks of an idle span one by one would change
+  /// nothing, so the span can be crossed in one step.
+  ///
+  /// Honesty contract, same shape as rejection_is_stable(): `false` is
+  /// always safe (the host just keeps stepping tick by tick); `true` when
+  /// account() would actually mutate state silently diverges the sparse
+  /// cluster driver from the reference engine, and the fuzz suites catch
+  /// it as a byte-level diff. The default is the safe answer; fixed-credit
+  /// schedulers override it with their refill fixed-point test.
+  [[nodiscard]] virtual bool refill_settled() const { return false; }
+
   /// Fraction of the *upcoming* run (for the VM just returned by pick())
   /// that converts into useful guest work, in (0,1]. 1.0 for guaranteed
   /// time; variable-credit schedulers may return less for extra-time grants

@@ -2,6 +2,8 @@
 // paper's governors are trying to optimize).
 #pragma once
 
+#include <cstdint>
+
 #include "common/units.hpp"
 #include "cpu/power_model.hpp"
 
@@ -13,10 +15,23 @@ class EnergyMeter {
 
   /// Accounts an interval of length `dt` spent at frequency ratio `ratio`
   /// with the CPU busy for `busy` of it.
+  ///
+  /// The two divisions are elided bit-exactly on the hot shapes: an idle
+  /// interval's utilization is +0.0 with or without the divide, and
+  /// dt.sec() is memoized on the last dt — idle fleets record millions of
+  /// identical-width chunks (one per crossed periodic fire), so both memos
+  /// hit almost always while the accumulated doubles stay byte-identical.
   void record(common::SimTime dt, double ratio, common::SimTime busy) {
     if (dt.us() <= 0) return;
-    const double util = static_cast<double>(busy.us()) / static_cast<double>(dt.us());
-    joules_ += model_.energy_joules(dt, ratio, util);
+    const double util =
+        busy.us() == 0
+            ? 0.0
+            : static_cast<double>(busy.us()) / static_cast<double>(dt.us());
+    if (dt.us() != sec_us_) {
+      sec_us_ = dt.us();
+      sec_cache_ = dt.sec();
+    }
+    joules_ += model_.power_watts(ratio, util) * sec_cache_;
     elapsed_ += dt;
   }
 
@@ -33,6 +48,9 @@ class EnergyMeter {
   cpu::PowerModel model_;
   double joules_ = 0.0;
   common::SimTime elapsed_{};
+  /// dt.sec() memo for record(); keyed on the raw microsecond width.
+  std::int64_t sec_us_ = -1;
+  double sec_cache_ = 0.0;
 };
 
 }  // namespace pas::metrics

@@ -46,6 +46,20 @@ void LoadMonitor::close_window(common::SimTime /*now*/) {
   absolute_ring_.push(absolute);
 }
 
+bool LoadMonitor::idle_settled() const {
+  for (const auto& p : per_vm_) {
+    if (p.window_busy != common::SimTime{} || !(p.window_work == common::Work{}))
+      return false;
+    if (p.last_global_pct != 0.0 || p.last_absolute_pct != 0.0) return false;
+  }
+  if (last_global_pct_ != 0.0 || last_absolute_pct_ != 0.0) return false;
+  if (!global_ring_.full() || !absolute_ring_.full()) return false;
+  bool zeros = true;
+  global_ring_.for_each([&](double v) { zeros = zeros && v == 0.0; });
+  absolute_ring_.for_each([&](double v) { zeros = zeros && v == 0.0; });
+  return zeros;
+}
+
 double LoadMonitor::vm_global_load_pct(common::VmId vm) const {
   assert(vm < per_vm_.size());
   return per_vm_[vm].last_global_pct;

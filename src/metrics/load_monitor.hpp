@@ -42,6 +42,14 @@ class LoadMonitor {
   /// boundaries.
   void close_window(common::SimTime now);
 
+  /// True when close_window() would be a value-exact no-op: nothing accrued
+  /// in the open window, every last-window percentage already zero, and the
+  /// smoothing rings full of zeros (a non-full ring still changes its mean
+  /// divisor on push, so "empty and idle" is NOT settled). Lets the host's
+  /// bulk idle skip cross monitor windows without replaying each close.
+  /// Cumulative counters are untouched by close_window and don't enter in.
+  [[nodiscard]] bool idle_settled() const;
+
   [[nodiscard]] common::SimTime window() const { return window_; }
   [[nodiscard]] std::size_t vm_count() const { return per_vm_.size(); }
 

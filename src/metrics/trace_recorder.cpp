@@ -54,6 +54,22 @@ void TraceRecorder::append(common::SimTime t, double freq_mhz, double global_loa
   vm_saturated_.insert(vm_saturated_.end(), vm_saturated.begin(), vm_saturated.end());
 }
 
+void TraceRecorder::append_idle_rows(std::span<const common::SimTime> ts, double freq_mhz,
+                                     std::span<const double> vm_credit) {
+  assert(vm_credit.size() == vm_count_);
+  if (ts.empty()) return;
+  const std::size_t rows = ts.size();
+  t_.insert(t_.end(), ts.begin(), ts.end());
+  freq_.insert(freq_.end(), rows, freq_mhz);
+  global_.insert(global_.end(), rows, 0.0);
+  absolute_.insert(absolute_.end(), rows, 0.0);
+  vm_global_.insert(vm_global_.end(), rows * vm_count_, 0.0);
+  vm_absolute_.insert(vm_absolute_.end(), rows * vm_count_, 0.0);
+  vm_saturated_.insert(vm_saturated_.end(), rows * vm_count_, 0.0);
+  for (std::size_t r = 0; r < rows; ++r)
+    vm_credit_.insert(vm_credit_.end(), vm_credit.begin(), vm_credit.end());
+}
+
 void TraceRecorder::add(const TraceSample& sample) {
   append(sample.t, sample.freq_mhz, sample.global_load_pct, sample.absolute_load_pct,
          sample.vm_global_pct, sample.vm_absolute_pct, sample.vm_credit_pct,

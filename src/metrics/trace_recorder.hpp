@@ -54,6 +54,15 @@ class TraceRecorder {
   /// Row-struct convenience wrapper over append().
   void add(const TraceSample& sample);
 
+  /// Bulk-appends one row per element of `ts` for a host whose monitor
+  /// reads all-zero: frequency and per-VM credits are constant across the
+  /// rows, every load/saturation column is 0.0. Value-identical to calling
+  /// append() once per instant with those arguments — this is the
+  /// fast-path primitive behind hv::Host::skip_idle_to, which proves the
+  /// host quiescent and then zero-fills the trace in one go.
+  void append_idle_rows(std::span<const common::SimTime> ts, double freq_mhz,
+                        std::span<const double> vm_credit);
+
   /// Reserves storage for `rows` further samples (optional; columns grow
   /// geometrically regardless).
   void reserve(std::size_t rows);

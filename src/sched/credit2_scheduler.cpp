@@ -98,6 +98,19 @@ void Credit2Scheduler::account(common::SimTime /*now*/) {
   }
 }
 
+bool Credit2Scheduler::refill_settled() const {
+  // Fixed point of account()'s per-entry assignment (unclamped imports can
+  // sit above the burst limit, so test the assignment, not balance==burst).
+  // vruntime/was_runnable are pick()/charge() state and never move inside
+  // account(), so they don't enter the predicate.
+  for (const Entry& e : vms_) {
+    const std::int64_t burst =
+        static_cast<std::int64_t>(std::llround(1.5 * static_cast<double>(refill_us(e))));
+    if (std::min(e.balance_us + refill_us(e), burst) != e.balance_us) return false;
+  }
+  return true;
+}
+
 void Credit2Scheduler::set_cap(common::VmId vm, common::Percent cap_pct) {
   if (cap_pct < 0.0) throw std::invalid_argument("Credit2Scheduler: negative cap");
   Entry& e = vms_.at(vm);

@@ -107,6 +107,21 @@ void CreditScheduler::account(common::SimTime /*now*/) {
   }
 }
 
+bool CreditScheduler::refill_settled() const {
+  // account()'s exact per-entry assignment, phrased as a fixed-point test.
+  // NOT `balance == burst`: import_credit is unclamped, so a migrated-in
+  // hoard can sit above the burst limit — the next account() would pull it
+  // down, which is an observable change.
+  for (const Entry& e : vms_) {
+    if (e.cap_pct <= 0.0) {
+      if (e.balance_us != 0) return false;
+    } else {
+      if (std::min(e.balance_us + e.refill_us, e.burst_us) != e.balance_us) return false;
+    }
+  }
+  return true;
+}
+
 void CreditScheduler::set_cap(common::VmId vm, common::Percent cap_pct) {
   if (cap_pct < 0.0) throw std::invalid_argument("CreditScheduler: negative cap");
   Entry& e = vms_.at(vm);

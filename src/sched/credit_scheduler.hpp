@@ -49,6 +49,7 @@ class CreditScheduler final : public hv::Scheduler {
   void set_cap(common::VmId vm, common::Percent cap_pct) override;
   [[nodiscard]] common::Percent cap(common::VmId vm) const override;
   [[nodiscard]] bool work_conserving() const override { return false; }
+  [[nodiscard]] bool refill_settled() const override;
   [[nodiscard]] common::SimTime export_credit(common::VmId vm) const override;
   void import_credit(common::VmId vm, common::SimTime balance) override;
 

@@ -71,6 +71,22 @@ void EventQueue::remove_heap_entry(std::size_t pos) {
   free_.push_back(slot);
 }
 
+bool EventQueue::reschedule(EventId id, common::SimTime when) {
+  if (id == kInvalidEvent) return false;
+  const std::uint32_t slot = static_cast<std::uint32_t>(id & 0xffffffff) - 1;
+  const std::uint32_t generation = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  if (s.generation != generation || s.heap_pos == kNpos) return false;
+  s.when = when;
+  s.seq = next_seq_++;
+  // The key may have moved either way (the fresh seq only breaks ties):
+  // settle downward first, then upward from wherever the entry landed.
+  sift_down(s.heap_pos);
+  sift_up(slots_[slot].heap_pos);
+  return true;
+}
+
 bool EventQueue::cancel(EventId id) {
   if (id == kInvalidEvent) return false;
   const std::uint32_t slot = static_cast<std::uint32_t>(id & 0xffffffff) - 1;

@@ -51,12 +51,33 @@ class EventQueue {
   /// tombstones), so pending() and next_event_time() stay exact.
   bool cancel(EventId id);
 
+  /// Moves a pending event to `when`, drawing a fresh (largest) insertion
+  /// sequence — exactly the order cancel() + schedule() of the same
+  /// callback would produce, but in one heap adjustment, without touching
+  /// the stored callback and without recycling the slot (the id stays
+  /// valid). Returns false if `id` is stale.
+  bool reschedule(EventId id, common::SimTime when);
+
   /// Runs every event with time <= `until`, in (time, insertion) order.
   /// Events may schedule further events; those also run if due.
   void run_until(common::SimTime until);
 
   /// Time of the earliest pending event, or `fallback` if none.
   [[nodiscard]] common::SimTime next_event_time(common::SimTime fallback) const;
+
+  /// Insertion sequence of a pending event, or 0 if `id` is stale. Ties on
+  /// time dispatch in ascending seq, so the host's bulk idle skip uses this
+  /// to replay the exact merge order the reference loop would have run the
+  /// periodic fires in (see hv::Host::skip_idle_to).
+  [[nodiscard]] std::uint64_t seq_of(EventId id) const {
+    if (id == kInvalidEvent) return 0;
+    const std::uint32_t slot = static_cast<std::uint32_t>(id & 0xffffffff) - 1;
+    const std::uint32_t generation = static_cast<std::uint32_t>(id >> 32);
+    if (slot >= slots_.size()) return 0;
+    const Slot& s = slots_[slot];
+    if (s.generation != generation || s.heap_pos == kNpos) return 0;
+    return s.seq;
+  }
 
   [[nodiscard]] std::size_t pending() const { return heap_.size(); }
   [[nodiscard]] bool empty() const { return heap_.empty(); }

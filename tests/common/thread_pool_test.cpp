@@ -26,6 +26,40 @@ TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
   for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
 }
 
+TEST(ThreadPoolTest, EveryGrainCoversEveryIndexExactlyOnce) {
+  // Chunked hand-out property: whatever the grain (including grain > n,
+  // grain == n, and the 0 -> 1 normalization), every index in [0, n) runs
+  // exactly once — chunking affects scheduling only, never coverage.
+  ThreadPool pool{4};
+  for (const std::size_t grain : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                                  std::size_t{8}, std::size_t{64}}) {
+    for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                                std::size_t{1000}}) {
+      std::vector<std::atomic<int>> hits(n);
+      pool.parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); }, grain);
+      for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "grain " << grain << " n " << n << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ResultsIndependentOfGrain) {
+  // Same pure-function-of-i check as the thread-assignment test, but
+  // across grains: the output vector must not depend on the chunk size.
+  constexpr std::size_t kN = 257;
+  ThreadPool pool{4};
+  auto run = [&](std::size_t grain) {
+    std::vector<std::uint64_t> out(kN, 0);
+    pool.parallel_for(kN, [&](std::size_t i) { out[i] = i * i + 7 * i + 3; }, grain);
+    return out;
+  };
+  const auto baseline = run(1);
+  EXPECT_EQ(baseline, run(2));
+  EXPECT_EQ(baseline, run(8));
+  EXPECT_EQ(baseline, run(64));
+  EXPECT_EQ(baseline, run(1000));  // one chunk swallows the whole range
+}
+
 TEST(ThreadPoolTest, ResultsIndependentOfThreadAssignment) {
   // body(i) writes a pure function of i into slot i — the result vector
   // must come out identical however the pool interleaved the work, and
@@ -74,6 +108,25 @@ TEST(ThreadPoolTest, PropagatesLowestIndexException) {
       FAIL() << "parallel_for swallowed the exception";
     } catch (const std::runtime_error& e) {
       EXPECT_STREQ(e.what(), "boom at 10");
+    }
+  }
+}
+
+TEST(ThreadPoolTest, LowestIndexExceptionWinsAtEveryGrain) {
+  // The deterministic-error contract must hold however indices are
+  // chunked: two throwers land in the same chunk at large grains, in
+  // different chunks at small ones — index 17 must surface either way.
+  ThreadPool pool{4};
+  for (const std::size_t grain : {std::size_t{1}, std::size_t{2}, std::size_t{8},
+                                  std::size_t{64}}) {
+    try {
+      pool.parallel_for(200, [](std::size_t i) {
+        if (i == 17 || i == 18 || i == 150)
+          throw std::runtime_error("boom at " + std::to_string(i));
+      }, grain);
+      FAIL() << "parallel_for swallowed the exception at grain " << grain;
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom at 17") << "grain " << grain;
     }
   }
 }

@@ -153,6 +153,89 @@ TEST(HostFastPathTest, TraceIdenticalToSlowLoopCredit2) {
   expect_identical_runs(Sched::kCredit2, /*controller=*/false);
 }
 
+TEST(HostFastPathTest, BulkIdleSkipMatchesSteppedRun) {
+  // The cluster's sparse driver replaces run_until(target) with
+  // skip_idle_to(target) whenever the quiescence certificate covers the
+  // segment. The two must be byte-identical — trace rows, idle time,
+  // energy down to the exact double — both across the skipped stretch and
+  // after the host wakes back up.
+  auto build = [] {
+    HostConfig hc;
+    hc.trace_stride = seconds(1);
+    hc.event_driven_fast_path = true;
+    auto host = std::make_unique<Host>(hc, std::make_unique<sched::CreditScheduler>());
+    VmConfig cfg;
+    cfg.name = "gated";
+    cfg.credit = 20.0;
+    host->add_vm(cfg, std::make_unique<wl::GatedBusyLoop>(wl::LoadProfile{{
+                          {seconds(2), 1.0},
+                          {seconds(5), 0.0},
+                          {seconds(40), 1.0},
+                          {seconds(45), 0.0},
+                      }}));
+    VmConfig idle;
+    idle.name = "idle";
+    idle.credit = 10.0;
+    host->add_vm(idle, std::make_unique<wl::IdleGuest>());
+    return host;
+  };
+  auto skipped = build();
+  auto stepped = build();
+
+  auto expect_equal = [&](const char* where) {
+    ASSERT_EQ(skipped->now(), stepped->now()) << where;
+    EXPECT_EQ(skipped->idle_time(), stepped->idle_time()) << where;
+    EXPECT_EQ(skipped->energy().joules(), stepped->energy().joules()) << where;
+    for (common::VmId v = 0; v < skipped->vm_count(); ++v) {
+      EXPECT_EQ(skipped->vm(v).total_busy, stepped->vm(v).total_busy)
+          << where << " vm " << v;
+      EXPECT_EQ(skipped->vm(v).window_wanting, stepped->vm(v).window_wanting)
+          << where << " vm " << v;
+    }
+    const auto sa = skipped->trace().samples();
+    const auto sb = stepped->trace().samples();
+    ASSERT_EQ(sa.size(), sb.size()) << where;
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      const auto ra = sa[i];
+      const auto rb = sb[i];
+      EXPECT_EQ(ra.t, rb.t) << where << " row " << i;
+      EXPECT_EQ(ra.freq_mhz, rb.freq_mhz) << where << " row " << i;
+      EXPECT_EQ(ra.global_load_pct, rb.global_load_pct) << where << " row " << i;
+      EXPECT_EQ(ra.absolute_load_pct, rb.absolute_load_pct) << where << " row " << i;
+      for (std::size_t v = 0; v < skipped->vm_count(); ++v) {
+        EXPECT_EQ(ra.vm_global_pct[v], rb.vm_global_pct[v])
+            << where << " row " << i << " vm " << v;
+        EXPECT_EQ(ra.vm_credit_pct[v], rb.vm_credit_pct[v])
+            << where << " row " << i << " vm " << v;
+        EXPECT_EQ(ra.vm_saturated[v], rb.vm_saturated[v])
+            << where << " row " << i << " vm " << v;
+      }
+    }
+  };
+
+  // Phase 1: run both through the busy pulse into the idle stretch.
+  skipped->run_until(seconds(10));
+  stepped->run_until(seconds(10));
+  expect_equal("after pulse");
+
+  // Phase 2: the certificate must cover the idle stretch (next real
+  // activity is the 40 s profile edge); bulk-skip one host, step the other.
+  ASSERT_GE(skipped->next_activity_time(), seconds(30));
+  skipped->skip_idle_to(seconds(30));
+  stepped->run_until(seconds(30));
+  expect_equal("after skip");
+
+  // Phase 3: both continue through the wake-up pulse — the skip must have
+  // left every piece of state (periodic phases, monitor windows, credit
+  // refill) exactly where the stepped run put it.
+  skipped->run_until(seconds(60));
+  stepped->run_until(seconds(60));
+  // The 40-45 s pulse ran (capped at 20 % credit, so ~1.6 s total busy
+  // across both pulses — well above the ~0.6 s of the first alone).
+  EXPECT_GT(skipped->vm(0).total_busy, seconds(1));
+  expect_equal("after wake-up");
+}
+
 TEST(HostFastPathTest, OffGridEventPeriodsStayIdentical) {
   // Periodic events whose period is not a multiple of the quantum cut the
   // reference loop's slices short and shift every later quantum boundary.
