@@ -83,6 +83,26 @@
 // else the 8x64 fast run); --require-active-fraction=X turns the fraction
 // into a CI ceiling on the scale tier (full runs only, --smoke exempt).
 //
+// --federation=K adds the FEDERATION tier: K hosting-cluster shards (the
+// same per-shard recipe, shard 0 skew-loaded with a quarter of the last
+// shard's tenants) under one fed::Federation — a global planner balancing
+// per-shard aggregate books with bounded cross-shard WAN migrations. The
+// federated run is executed slow-path, fast-path, and (at --threads > 1)
+// on the parallel engine; every shard must be byte-identical across all
+// of them AND the cross-shard migration ledgers must match — gated
+// always, smoke included. With K = 1 the federation must degrade
+// byte-exactly to the bench's own single-cluster fast run (it schedules
+// no federation events at all). Shard count, cross-shard census per link
+// kind and sim-s/wall-s land in the `federation{...}` JSON block;
+// --require-federation-rate puts a floor on the federated rate (full
+// runs only, --smoke exempt).
+//
+// Identity verdicts are tri-state throughout: a `*_identical` JSON field
+// is true/false only when its comparison actually executed, and null when
+// it never ran (e.g. `parallel_identical` with --threads=1) — a gate that
+// "passes" because nothing was compared is a vacuous gate, and the gates
+// below skip null verdicts instead of defaulting them to true.
+//
 // Usage: bench_cluster_consolidation [--smoke] [--horizon=SECONDS]
 //          [--hosts=8] [--vms=64] [--out=BENCH_cluster.json]
 //          [--require-rate=RATE] [--threads=N]
@@ -92,12 +112,14 @@
 //          [--scale-hosts=N] [--scale-vms=N] [--scale-horizon=SECONDS]
 //          [--require-scale-rate=RATE] [--require-planner-speedup=X]
 //          [--require-scale-planner-ns=NS] [--require-active-fraction=X]
+//          [--federation=K] [--require-federation-rate=RATE]
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -108,7 +130,9 @@
 #include "common/thread_pool.hpp"
 #include "control/control_plane.hpp"
 #include "control/task.hpp"
+#include "federation/federation.hpp"
 #include "platform/host_class.hpp"
+#include "scenario/federation_scenario.hpp"
 #include "scenario/hosting_cluster.hpp"
 #include "workload/trace_replay.hpp"
 
@@ -182,6 +206,45 @@ bool clusters_identical(pas::cluster::Cluster& a, pas::cluster::Cluster& b) {
   return true;
 }
 
+// The cluster identity contract lifted to the federation: every shard
+// byte-identical, plus matching cross-shard ledgers (same flights over the
+// same links at the same instants) and VM registries.
+bool federations_identical(pas::fed::Federation& a, pas::fed::Federation& b) {
+  if (a.shard_count() != b.shard_count()) return false;
+  for (pas::fed::ShardId s = 0; s < a.shard_count(); ++s)
+    if (!clusters_identical(a.shard(s), b.shard(s))) return false;
+  if (a.planner_ticks() != b.planner_ticks() || a.moves_issued() != b.moves_issued() ||
+      a.cross_shard_in_flight() != b.cross_shard_in_flight())
+    return false;
+  const auto& ra = a.cross_shard_records();
+  const auto& rb = b.cross_shard_records();
+  if (ra.size() != rb.size()) return false;
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    if (ra[i].vm != rb[i].vm || ra[i].from_shard != rb[i].from_shard ||
+        ra[i].to_shard != rb[i].to_shard || ra[i].from_host != rb[i].from_host ||
+        ra[i].to_host != rb[i].to_host || ra[i].src_vm != rb[i].src_vm ||
+        ra[i].dst_vm != rb[i].dst_vm || ra[i].link != rb[i].link ||
+        ra[i].record.start != rb[i].record.start ||
+        ra[i].record.stop != rb[i].record.stop || ra[i].record.end != rb[i].record.end ||
+        ra[i].record.downtime != rb[i].record.downtime ||
+        ra[i].record.rounds != rb[i].record.rounds ||
+        ra[i].record.transferred_mb != rb[i].record.transferred_mb ||
+        ra[i].record.outcome != rb[i].record.outcome)
+      return false;
+  }
+  if (a.vm_count() != b.vm_count()) return false;
+  for (pas::fed::FedVmId v = 0; v < a.vm_count(); ++v)
+    if (a.locate(v).shard != b.locate(v).shard || a.locate(v).vm != b.locate(v).vm)
+      return false;
+  return true;
+}
+
+// Tri-state identity verdict for JSON: a comparison that never ran is
+// null, never a vacuous true.
+const char* json_verdict(const std::optional<bool>& v) {
+  return v.has_value() ? (*v ? "true" : "false") : "null";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -251,7 +314,10 @@ int main(int argc, char** argv) {
   double par_wall = 0.0;
   double par_rate = 0.0;
   double parallel_speedup = 0.0;
-  bool parallel_identical = true;
+  // No parallel run, no verdict: with --threads=1 this stays nullopt and
+  // the JSON says null — previously it defaulted to true and the gate
+  // "passed" a comparison that never executed.
+  std::optional<bool> parallel_identical;
   if (threads > 1) {
     auto cfg_par = base;
     cfg_par.fast_path = true;
@@ -264,7 +330,7 @@ int main(int argc, char** argv) {
     std::printf("  parallel (%zu thr)  : %8.2f wall ms   %10.0f sim-s/wall-s   "
                 "%.2fx vs serial   identical: %s\n",
                 threads, par_wall * 1e3, par_rate, parallel_speedup,
-                parallel_identical ? "yes" : "NO — BUG");
+                *parallel_identical ? "yes" : "NO — BUG");
   }
 
   // --- the dynamic §2.3 figure ---
@@ -348,7 +414,7 @@ int main(int argc, char** argv) {
   // byte-identical with every tenant a TraceReplay; that identity is a
   // gated contract like the synthetic ones, smoke included.
   const std::string trace_dir = flags.get_or("trace", "");
-  bool replay_identical = true;
+  std::optional<bool> replay_identical;  // nullopt until the replay A/B runs
   std::string trace_json;
   if (!trace_dir.empty()) {
     const std::vector<pas::wl::Trace> traces = pas::wl::Trace::load_dir(trace_dir);
@@ -371,7 +437,7 @@ int main(int argc, char** argv) {
       tr_par_cfg.threads = threads;
       auto tr_par = pas::scenario::build_hosting_cluster(tr_par_cfg);
       (void)run_timed(*tr_par, horizon);
-      replay_identical = replay_identical && clusters_identical(*tr_fast, *tr_par);
+      replay_identical = *replay_identical && clusters_identical(*tr_fast, *tr_par);
     }
 
     std::printf("\n  trace replay (%zu trace(s) from %s):\n", traces.size(),
@@ -379,7 +445,7 @@ int main(int argc, char** argv) {
     std::printf("  replay fast path  : %8.2f wall ms   %10.0f sim-s/wall-s   "
                 "%.2fx vs slow   identical: %s\n",
                 tr_fast_wall * 1e3, tr_rate, tr_slow_wall / tr_fast_wall,
-                replay_identical ? "yes" : "NO — BUG");
+                *replay_identical ? "yes" : "NO — BUG");
     std::printf("  replay fleet      : %8.1f mean W   %zu migrations\n",
                 tr_fast->average_watts(), tr_fast->migrations().size());
 
@@ -393,7 +459,7 @@ int main(int argc, char** argv) {
                   "    \"speedup\": %.3f,\n"
                   "    \"watts\": %.3f,\n"
                   "    \"migrations\": %zu\n  },\n",
-                  traces.size(), replay_identical ? "true" : "false", tr_rate,
+                  traces.size(), json_verdict(replay_identical), tr_rate,
                   tr_slow_wall / tr_fast_wall, tr_fast->average_watts(),
                   tr_fast->migrations().size());
     trace_json = "  \"trace\": {\n    \"dir\": \"" + json_escape(trace_dir) + "\",\n" + buf;
@@ -404,7 +470,7 @@ int main(int argc, char** argv) {
   // the standing byte-identity contract, now under crashes/aborts/degraded
   // links/brownouts.
   const auto chaos_seed = static_cast<std::uint64_t>(flags.get_int("chaos-seed", 0));
-  bool chaos_identical = true;
+  std::optional<bool> chaos_identical;  // nullopt until the chaos A/B runs
   std::string chaos_json;
   if (chaos_seed != 0) {
     auto cfg_chaos = base;
@@ -424,7 +490,7 @@ int main(int argc, char** argv) {
       ch_par_cfg.threads = threads;
       auto ch_par = pas::scenario::build_hosting_cluster(ch_par_cfg);
       ch_par->run_until(horizon);
-      chaos_identical = chaos_identical && clusters_identical(*ch_fast, *ch_par);
+      chaos_identical = *chaos_identical && clusters_identical(*ch_fast, *ch_par);
     }
 
     const pas::fault::FaultInjector& inj = *ch_fast->faults();
@@ -459,7 +525,7 @@ int main(int argc, char** argv) {
                 rec.max.sec(), abandoned);
     std::printf("  identity under faults (fast/slow%s): %s\n",
                 threads > 1 ? "/parallel" : "",
-                chaos_identical ? "yes" : "NO — BUG");
+                *chaos_identical ? "yes" : "NO — BUG");
 
     char buf[1024];
     std::snprintf(buf, sizeof(buf),
@@ -485,7 +551,7 @@ int main(int argc, char** argv) {
                   brownout_skipped, static_cast<std::size_t>(ch_fast->vm_count()),
                   ch_fast->running_vm_count(), ch_fast->lost_vm_count(), rec.count,
                   abandoned, rec.p50.sec(), rec.mean_s, rec.max.sec(), restarts,
-                  chaos_identical ? "true" : "false");
+                  json_verdict(chaos_identical));
     chaos_json = buf;
   }
 
@@ -500,7 +566,7 @@ int main(int argc, char** argv) {
   // combined verdict is `control.replay_identical`, gated always (smoke
   // included) like every identity contract.
   const std::string commands_file = flags.get_or("commands", "");
-  bool control_replay_identical = true;
+  std::optional<bool> control_replay_identical;  // nullopt until the A/B runs
   std::string control_json;
   if (!commands_file.empty()) {
     std::ifstream cmd_in(commands_file, std::ios::binary);
@@ -533,7 +599,7 @@ int main(int argc, char** argv) {
       ct_par_cfg.threads = threads;
       auto ct_par = pas::scenario::build_hosting_cluster(ct_par_cfg);
       ct_par->run_until(horizon);
-      control_replay_identical = control_replay_identical &&
+      control_replay_identical = *control_replay_identical &&
                                  clusters_identical(*ct_fast, *ct_par) &&
                                  ct_par->control()->result_log() == result_log;
     }
@@ -543,7 +609,7 @@ int main(int argc, char** argv) {
     {
       auto ct_re = pas::scenario::build_hosting_cluster(cfg_ctl);
       ct_re->run_until(horizon);
-      control_replay_identical = control_replay_identical &&
+      control_replay_identical = *control_replay_identical &&
                                  ct_re->control()->result_log() == result_log;
     }
 
@@ -558,7 +624,7 @@ int main(int argc, char** argv) {
       auto ct_notes = pas::scenario::build_hosting_cluster(cfg_notes);
       ct_notes->run_until(horizon);
       control_replay_identical =
-          control_replay_identical &&
+          *control_replay_identical &&
           pas::ctl::results_to_annotations(ct_notes->control()->results()) == notes;
     }
 
@@ -569,7 +635,7 @@ int main(int argc, char** argv) {
                 "replay identical: %s\n",
                 plane.results().size(), plane.accepted(), plane.rejected(),
                 plane.superseded(),
-                control_replay_identical ? "yes" : "NO — BUG");
+                *control_replay_identical ? "yes" : "NO — BUG");
 
     char buf[256];
     std::snprintf(buf, sizeof(buf),
@@ -581,7 +647,7 @@ int main(int argc, char** argv) {
                   "    \"replay_identical\": %s\n  },\n",
                   tasks.size(), plane.results().size(), plane.accepted(),
                   plane.rejected(), plane.superseded(),
-                  control_replay_identical ? "true" : "false");
+                  json_verdict(control_replay_identical));
     control_json =
         "  \"control\": {\n    \"file\": \"" + json_escape(commands_file) + "\",\n" + buf;
   }
@@ -595,7 +661,7 @@ int main(int argc, char** argv) {
   // always on, smoke included. The planner-time floors/ceilings only bind
   // on full runs: a smoke horizon barely plans at all.
   const auto scale_hosts = static_cast<std::size_t>(flags.get_int("scale-hosts", 0));
-  bool scale_identical = true;
+  std::optional<bool> scale_identical;  // nullopt until the scale A/B runs
   double scale_rate = 0.0;
   double planner_speedup = 0.0;
   double inc_ns_per_tick = 0.0;
@@ -667,7 +733,7 @@ int main(int argc, char** argv) {
                 bk.vms_walked, bk.vms_scanned, bk.coalesced_marks,
                 inc_mgr.events_coalesced());
     std::printf("  identical to legacy replan: %s\n",
-                scale_identical ? "yes" : "NO — BUG");
+                *scale_identical ? "yes" : "NO — BUG");
 
     char buf[1024];
     std::snprintf(buf, sizeof(buf),
@@ -694,8 +760,101 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(leg_mgr.planner_ns()),
                   leg_mgr.planning_ticks(), planner_speedup, bk.plans, bk.cached_plans,
                   bk.delta_plans, bk.full_rebuilds, bk.vms_walked, bk.vms_scanned,
-                  bk.coalesced_marks, scale_identical ? "true" : "false");
+                  bk.coalesced_marks, json_verdict(scale_identical));
     scale_json = buf;
+  }
+
+  // --- federation: K shards under the global planner, per-link WAN moves ---
+  // The same per-shard recipe, shard 0 skew-loaded, run slow-path vs
+  // fast-path (and vs the parallel engine at --threads > 1). Identity is
+  // the lifted cluster contract — every shard byte-identical AND the
+  // cross-shard ledgers equal — gated always, smoke included. K = 1 must
+  // additionally reproduce the bench's own single-cluster fast run
+  // byte-exactly: a single-shard federation schedules no events at all.
+  const auto fed_shards = static_cast<std::size_t>(flags.get_int("federation", 0));
+  std::optional<bool> federation_identical;  // nullopt until the tier runs
+  double fed_rate = 0.0;
+  std::string federation_json;
+  if (fed_shards > 0) {
+    pas::scenario::FederationScenarioConfig fc;
+    fc.base = base;
+    fc.shards = fed_shards;
+
+    auto fc_slow = fc;
+    fc_slow.base.fast_path = false;
+    auto fd_slow = pas::scenario::build_federation(fc_slow);
+    const auto slow_start = std::chrono::steady_clock::now();
+    fd_slow->run_until(horizon);
+    const double fd_slow_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - slow_start)
+            .count();
+
+    auto fd_fast = pas::scenario::build_federation(fc);
+    const auto fast_start = std::chrono::steady_clock::now();
+    fd_fast->run_until(horizon);
+    const double fd_fast_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - fast_start)
+            .count();
+    fed_rate = static_cast<double>(horizon_s) / fd_fast_wall;
+    federation_identical = federations_identical(*fd_slow, *fd_fast);
+
+    if (threads > 1) {
+      auto fc_par = fc;
+      fc_par.base.threads = threads;
+      auto fd_par = pas::scenario::build_federation(fc_par);
+      fd_par->run_until(horizon);
+      federation_identical =
+          *federation_identical && federations_identical(*fd_fast, *fd_par);
+    }
+    // K = 1 degradation: byte-exact to the single-cluster fast run above
+    // (same config, same seed, no skew, no federation events).
+    if (fed_shards == 1)
+      federation_identical =
+          *federation_identical && clusters_identical(*fast, fd_fast->shard(0));
+
+    // Cross-shard census by link kind; the intra-rack tier is the shards'
+    // own internal migrations.
+    std::size_t wan_moves = 0;
+    std::size_t cross_rack_moves = 0;
+    for (const pas::fed::FedMigrationRecord& r : fd_fast->cross_shard_records()) {
+      if (r.link == pas::fed::LinkKind::kWan)
+        ++wan_moves;
+      else
+        ++cross_rack_moves;
+    }
+    std::size_t intra_moves = 0;
+    std::size_t fed_vms = 0;
+    for (pas::fed::ShardId s = 0; s < fd_fast->shard_count(); ++s) {
+      intra_moves += fd_fast->shard(s).migrations().size();
+      fed_vms += fd_fast->shard(s).vm_count();
+    }
+
+    std::printf("\n  federation tier: %zu shard(s) x %zu hosts, %zu VMs total\n",
+                fed_shards, hosts, fed_vms);
+    std::printf("  federated run     : %8.2f wall ms   %10.0f sim-s/wall-s   "
+                "%.2fx vs slow\n",
+                fd_fast_wall * 1e3, fed_rate, fd_slow_wall / fd_fast_wall);
+    std::printf("  migrations: %zu intra-rack (shard-internal), %zu cross-rack, "
+                "%zu wan   planner ticks %zu   identical: %s\n",
+                intra_moves, cross_rack_moves, wan_moves, fd_fast->planner_ticks(),
+                *federation_identical ? "yes" : "NO — BUG");
+
+    char buf[1024];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"federation\": {\n"
+                  "    \"shards\": %zu,\n"
+                  "    \"vms\": %zu,\n"
+                  "    \"planner_ticks\": %zu,\n"
+                  "    \"cross_shard_migrations\": %zu,\n"
+                  "    \"links\": {\"intra_rack\": %zu, \"cross_rack\": %zu, "
+                  "\"wan\": %zu},\n"
+                  "    \"wall_seconds\": %.6f,\n"
+                  "    \"sim_per_wall\": %.1f,\n"
+                  "    \"federation_identical\": %s\n  },\n",
+                  fed_shards, fed_vms, fd_fast->planner_ticks(),
+                  fd_fast->cross_shard_records().size(), intra_moves, cross_rack_moves,
+                  wan_moves, fd_fast_wall, fed_rate, json_verdict(federation_identical));
+    federation_json = buf;
   }
 
   // --- engine telemetry: the sparse driver's dispatch counters ---
@@ -727,6 +886,27 @@ int main(int argc, char** argv) {
     engine_json = buf;
   }
 
+  // The parallel A/B only exists at --threads > 1: without it the whole
+  // block is null — numbers from a run that never happened are as vacuous
+  // as a defaulted identity verdict.
+  std::string parallel_json;
+  if (threads > 1) {
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"parallel\": {\"threads\": %zu, \"wall_seconds\": %.6f, "
+                  "\"sim_per_wall\": %.1f},\n"
+                  "  \"parallel_speedup\": %.3f,\n"
+                  "  \"parallel_identical\": %s,\n",
+                  threads, par_wall, par_rate, parallel_speedup,
+                  json_verdict(parallel_identical));
+    parallel_json = buf;
+  } else {
+    parallel_json =
+        "  \"parallel\": null,\n"
+        "  \"parallel_speedup\": null,\n"
+        "  \"parallel_identical\": null,\n";
+  }
+
   {
     std::ofstream js{out};
     if (!js) {
@@ -745,26 +925,24 @@ int main(int argc, char** argv) {
                   "  \"slow\": {\"wall_seconds\": %.6f, \"sim_per_wall\": %.1f},\n"
                   "  \"fast\": {\"wall_seconds\": %.6f, \"sim_per_wall\": %.1f},\n"
                   "  \"speedup\": %.3f,\n"
-                  "  \"traces_identical\": %s,\n"
-                  "  \"parallel\": {\"threads\": %zu, \"wall_seconds\": %.6f, "
-                  "\"sim_per_wall\": %.1f},\n"
-                  "  \"parallel_speedup\": %.3f,\n"
-                  "  \"parallel_identical\": %s,\n"
+                  "  \"traces_identical\": %s,\n",
+                  hosts, vms, fleet.c_str(), hosts, vms, horizon_s, slow_wall, slow_rate,
+                  fast_wall, fast_rate, speedup, identical ? "true" : "false");
+    js << buf;
+    js << parallel_json;
+    std::snprintf(buf, sizeof(buf),
                   "  \"watts_static_spread\": %.3f,\n"
                   "  \"watts_consolidation_only\": %.3f,\n"
                   "  \"watts_consolidation_pas\": %.3f,\n"
                   "  \"consolidation_saving_watts\": %.3f,\n"
                   "  \"dvfs_saving_watts\": %.3f,\n",
-                  hosts, vms, fleet.c_str(), hosts, vms, horizon_s, slow_wall, slow_rate,
-                  fast_wall, fast_rate, speedup, identical ? "true" : "false",
-                  threads > 1 ? threads : 0, par_wall, par_rate, parallel_speedup,
-                  parallel_identical ? "true" : "false", watts_spread, watts_consol,
-                  watts_pas, consolidation_saving, dvfs_saving);
+                  watts_spread, watts_consol, watts_pas, consolidation_saving,
+                  dvfs_saving);
     js << buf;
     // The optional blocks embed unbounded strings (class names, the
     // --trace path): streamed, not snprintf'd, so they cannot truncate.
     js << hetero_json << trace_json << chaos_json << control_json << scale_json
-       << engine_json;
+       << federation_json << engine_json;
     std::snprintf(buf, sizeof(buf),
                   "  \"migrations\": %zu,\n"
                   "  \"hosts_on_final\": %zu\n"
@@ -774,30 +952,49 @@ int main(int argc, char** argv) {
     std::printf("  written to %s\n", out.c_str());
   }
 
+  // Identity gates. The optional verdicts fail only on an EXECUTED
+  // comparison that came back false; a nullopt (the tier never ran) is
+  // skipped — failing it would be as wrong as the old vacuous pass.
   if (!identical) {
     std::printf("  FAIL: fast path diverged from the reference loop\n");
     return 1;
   }
-  if (!parallel_identical) {
+  if (parallel_identical && !*parallel_identical) {
     std::printf("  FAIL: parallel engine diverged from the serial engine\n");
     return 1;
   }
-  if (!replay_identical) {
+  if (replay_identical && !*replay_identical) {
     std::printf("  FAIL: trace replay diverged between engine variants\n");
     return 1;
   }
-  if (!chaos_identical) {
+  if (chaos_identical && !*chaos_identical) {
     std::printf("  FAIL: engines diverged under injected faults\n");
     return 1;
   }
-  if (!control_replay_identical) {
+  if (control_replay_identical && !*control_replay_identical) {
     std::printf("  FAIL: control-plane replay diverged (state, result log, or "
                 "annotation round trip)\n");
     return 1;
   }
-  if (!scale_identical) {
+  if (scale_identical && !*scale_identical) {
     std::printf("  FAIL: incremental planner diverged from the legacy replan\n");
     return 1;
+  }
+  if (federation_identical && !*federation_identical) {
+    std::printf("  FAIL: federated shards or cross-shard ledgers diverged\n");
+    return 1;
+  }
+  const double fed_floor = flags.get_double("require-federation-rate", 0.0);
+  if (fed_floor > 0.0 && !flags.has("smoke")) {
+    if (fed_shards == 0) {
+      std::printf("  FAIL: --require-federation-rate needs --federation > 0\n");
+      return 1;
+    }
+    if (fed_rate < fed_floor) {
+      std::printf("  FAIL: federated rate %.0f sim-s/wall-s below the %.0f floor\n",
+                  fed_rate, fed_floor);
+      return 1;
+    }
   }
   const double scale_floor = flags.get_double("require-scale-rate", 0.0);
   if (scale_floor > 0.0 && !flags.has("smoke")) {

@@ -131,9 +131,74 @@ GlobalVmId Cluster::add_vm(ClusterVmConfig config, std::unique_ptr<wl::Workload>
   held_since_.emplace_back();
   downtime_.emplace_back();
   migration_count_.push_back(0);
+  fed_locked_.push_back(0);
   record_slot(home, gid, slot_id);
   ++topology_version_;
   return gid;
+}
+
+GlobalVmId Cluster::admit_inbound(ClusterVmConfig config, HostId home) {
+  if (home >= hosts_.size()) throw std::invalid_argument("Cluster: bad home host");
+  if (config.memory_mb <= 0.0)
+    throw std::invalid_argument("Cluster: VM memory must be positive");
+  if (crashed_[home])
+    throw std::invalid_argument("Cluster: inbound destination host crashed");
+
+  const auto gid = static_cast<GlobalVmId>(vm_cfgs_.size());
+  // Mid-run registration rides the same between-segments Host::add_vm path
+  // ensure_slot uses: the slot parks an IdleGuest until the federation
+  // link's attach delivers the guest (workload + credit) into it.
+  const common::VmId slot_id =
+      hosts_[home]->add_vm(config.vm, std::make_unique<wl::IdleGuest>());
+  sla_.register_vm(gid, config.vm.credit);
+  vm_cfgs_.push_back(std::move(config));
+  home_.push_back(home);
+  home_slot_.push_back(slot_id);
+  vm_slots_.emplace_back();
+  vm_state_.push_back(VmState::kInbound);
+  held_wl_.emplace_back();
+  held_since_.emplace_back();
+  downtime_.emplace_back();
+  migration_count_.push_back(0);
+  fed_locked_.push_back(0);
+  record_slot(home, gid, slot_id);
+  set_powered(home, true);  // the destination must be receiving
+  ++topology_version_;
+  return gid;
+}
+
+void Cluster::mark_departed(GlobalVmId vm) {
+  if (vm >= vm_cfgs_.size()) throw std::invalid_argument("Cluster: bad VM id");
+  if (vm_state_[vm] != VmState::kRunning)
+    throw std::logic_error("Cluster: only a running VM can depart");
+  // The link's detach already drained the slot (workload held in the
+  // flight, credit exported, cap zeroed) — only the bookkeeping is ours.
+  vm_state_[vm] = VmState::kDeparted;
+  fed_locked_[vm] = 0;
+  ++topology_version_;
+  if (manager_) manager_->note_vm_event(vm);
+}
+
+void Cluster::complete_inbound(GlobalVmId vm, common::SimTime downtime) {
+  if (vm >= vm_cfgs_.size()) throw std::invalid_argument("Cluster: bad VM id");
+  if (vm_state_[vm] != VmState::kInbound)
+    throw std::logic_error("Cluster: complete_inbound on a non-inbound VM");
+  set_powered(home_[vm], true);
+  vm_state_[vm] = VmState::kRunning;
+  downtime_[vm] += downtime;
+  ++migration_count_[vm];
+  // Same SLA contract as an intra-cluster stop-and-copy: the pause is one
+  // fully violated window — a paused VM delivers nothing, whatever it
+  // bought.
+  if (downtime > common::SimTime{})
+    sla_.record_window(vm, downtime, 0.0, /*saturated=*/true);
+  ++topology_version_;
+  if (manager_) manager_->note_vm_event(vm);
+}
+
+void Cluster::set_federation_lock(GlobalVmId vm, bool locked) {
+  if (vm >= vm_cfgs_.size()) throw std::invalid_argument("Cluster: bad VM id");
+  fed_locked_[vm] = locked ? 1 : 0;
 }
 
 void Cluster::record_slot(HostId host, GlobalVmId vm, common::VmId slot) {
@@ -265,6 +330,7 @@ bool Cluster::migrate(GlobalVmId vm, HostId to) {
   if (to >= hosts_.size()) throw std::invalid_argument("Cluster: bad destination host");
   if (to == home_[vm] || engine_->in_flight(vm)) return false;
   if (vm_state_[vm] != VmState::kRunning || crashed_[to]) return false;
+  if (fed_locked_[vm]) return false;  // a federation flight owns its placement
 
   const HostId from = home_[vm];
   set_powered(to, true);  // the destination must be receiving
@@ -279,8 +345,12 @@ bool Cluster::migrate(GlobalVmId vm, HostId to) {
 }
 
 bool Cluster::host_in_use(HostId host) const {
+  // kInbound counts: a federation flight is landing a guest here, and VOVO
+  // parking the destination mid-transfer would strand the attach.
   for (const auto& [gid, s] : host_slots_[host])
-    if (home_[gid] == host && vm_state_[gid] == VmState::kRunning) return true;
+    if (home_[gid] == host && (vm_state_[gid] == VmState::kRunning ||
+                               vm_state_[gid] == VmState::kInbound))
+      return true;
   return engine_->endpoint_in_flight(host);
 }
 
@@ -372,6 +442,7 @@ bool Cluster::restart_vm(GlobalVmId vm, HostId to) {
 bool Cluster::stop_vm(GlobalVmId vm) {
   if (vm >= vm_cfgs_.size()) throw std::invalid_argument("Cluster: bad VM id");
   if (vm_state_[vm] != VmState::kRunning || engine_->in_flight(vm)) return false;
+  if (fed_locked_[vm]) return false;  // a federation flight owns its placement
 
   hv::Host& h = *hosts_[home_[vm]];
   const common::VmId s = home_slot_[vm];

@@ -162,6 +162,16 @@ enum class VmState : std::uint8_t {
   /// like an orphan's, but deliberately — no SLA accrues and no recovery
   /// path touches it; only start_vm resumes it.
   kStopped,
+  /// Arriving from another cluster (federation WAN migration, destination
+  /// side): registered and slot-parked here, but the guest still runs on
+  /// the source shard — no SLA samples, no planning, until
+  /// complete_inbound flips it to kRunning at the link's attach.
+  kInbound,
+  /// Handed off to another cluster (federation WAN migration, source side,
+  /// from the link's detach on). Terminal within THIS cluster — the guest
+  /// lives on in the destination shard; no SLA, no planning, no recovery
+  /// here.
+  kDeparted,
 };
 
 /// One successful crash-recovery restart (for recovery-latency stats).
@@ -178,6 +188,11 @@ struct VmRecovery {
 struct RecoveryStats {
   std::size_t count = 0;
   /// Lower-median nearest-rank p50 of the latencies; zero when count == 0.
+  /// Deliberately NOT stats::percentile_sorted's linear interpolation: an
+  /// interpolated median of an even-count sample is a latency that never
+  /// happened, and SimTime truncation of it would not be byte-stable. The
+  /// divergence (even n: nearest rank picks sorted[(n-1)/2], interpolation
+  /// averages the middle pair) is pinned in tests/common/stats_test.cpp.
   common::SimTime p50{};
   common::SimTime max{};
   double mean_s = 0.0;
@@ -304,6 +319,38 @@ class Cluster {
   /// queue when the run starts.
   void install_faults(std::unique_ptr<fault::FaultInjector> injector);
 
+  // --- federation hooks (called by fed::Federation, at synced instants
+  // --- between host segments — the same positions cluster events occupy) --
+
+  /// Registers a VM arriving from another cluster mid-run: creates and
+  /// parks its slot on `home` (an IdleGuest — the guest itself is still
+  /// running on the source shard), registers SLA accounting, powers `home`
+  /// on, state kInbound. The workload arrives through the federation
+  /// link's attach; complete_inbound then flips it to kRunning. Returns
+  /// the VM's id in THIS cluster. Throws on a bad or crashed host.
+  GlobalVmId admit_inbound(ClusterVmConfig config, HostId home);
+
+  /// Source-side handoff at the federation link's detach: the engine has
+  /// already drained the slot (workload + credit are in transit), so this
+  /// just marks the VM kDeparted and feeds the manager's dirty set.
+  /// Throws std::logic_error unless the VM is kRunning.
+  void mark_departed(GlobalVmId vm);
+
+  /// Destination-side completion at the federation link's attach: the
+  /// engine has re-attached workload + credit on the VM's slot; this flips
+  /// kInbound -> kRunning, charges the WAN pause as a fully violated SLA
+  /// window (same contract as an intra-cluster stop-and-copy), and counts
+  /// the migration. Throws std::logic_error unless the VM is kInbound.
+  void complete_inbound(GlobalVmId vm, common::SimTime downtime);
+
+  /// Federation transfer lock: while set, the shard's own manager and
+  /// control paths cannot migrate or stop the VM — the federation owns its
+  /// placement until the cross-cluster flight resolves.
+  void set_federation_lock(GlobalVmId vm, bool locked);
+  [[nodiscard]] bool federation_locked(GlobalVmId vm) const {
+    return fed_locked_.at(vm) != 0;
+  }
+
   // --- accessors ---
   [[nodiscard]] common::SimTime now() const { return now_; }
   [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
@@ -357,6 +404,7 @@ class Cluster {
   [[nodiscard]] std::size_t lost_vm_count() const;
   [[nodiscard]] const std::vector<VmRecovery>& recoveries() const { return recoveries_; }
   [[nodiscard]] ClusterManager* manager() { return manager_.get(); }
+  [[nodiscard]] const ClusterManager* manager() const { return manager_.get(); }
   [[nodiscard]] const fault::FaultInjector* faults() const { return injector_.get(); }
   [[nodiscard]] bool powered_on(HostId host) const { return meter_.powered(host); }
   [[nodiscard]] std::size_t powered_on_count() const;
@@ -428,6 +476,8 @@ class Cluster {
   std::vector<std::unique_ptr<wl::Workload>> held_wl_;
   std::vector<common::SimTime> held_since_;
   std::vector<std::uint8_t> crashed_;
+  /// Per VM: nonzero while a federation cross-cluster flight owns it.
+  std::vector<std::uint8_t> fed_locked_;
   std::vector<VmRecovery> recoveries_;
 
   sim::EventQueue events_;

@@ -151,6 +151,15 @@ class ClusterManager {
   [[nodiscard]] const consolidation::HostBookStats& book_stats() const {
     return book_.stats();
   }
+  /// True once the incremental book mirrors the fleet (first planning tick
+  /// on the incremental path has run).
+  [[nodiscard]] bool book_ready() const { return book_seeded_; }
+  /// Aggregate of the book's live hosts / planned VMs — the per-shard
+  /// summary the federation's global planner balances. Only meaningful
+  /// when book_ready(); reflects the fleet as of the last reconcile (the
+  /// shard's planning cadence), which is exactly the staleness a real
+  /// cross-cluster tier would see.
+  [[nodiscard]] consolidation::BookTotals book_totals() const { return book_.totals(); }
 
  private:
   void recover_orphans(common::SimTime now, Cluster& cluster);

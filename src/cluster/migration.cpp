@@ -80,7 +80,9 @@ std::vector<GlobalVmId> MigrationEngine::in_flight_vms() const {
 MigrationPlan MigrationEngine::begin(GlobalVmId vm, HostId from, HostId to,
                                      Endpoint source, Endpoint dest, double memory_mb,
                                      double dirty_mb_per_s, common::Percent credit_pct,
-                                     common::SimTime now, CompletionFn done) {
+                                     common::SimTime now, CompletionFn done,
+                                     CompletionFn on_detach,
+                                     common::SimTime extra_switch_latency) {
   if (in_flight(vm))
     throw std::logic_error("MigrationEngine: VM " + std::to_string(vm) +
                            " already in flight");
@@ -90,12 +92,15 @@ MigrationPlan MigrationEngine::begin(GlobalVmId vm, HostId from, HostId to,
   auto flight = std::make_unique<Flight>();
   Flight* f = flight.get();
   f->plan = plan_migration(memory_mb, dirty_mb_per_s, cfg_);
+  f->plan.downtime += extra_switch_latency;
   f->source = source;
   f->dest = dest;
   f->credit_pct = credit_pct;
   f->memory_mb = memory_mb;
   f->dirty_mb_per_s = dirty_mb_per_s;
   f->done = std::move(done);
+  f->on_detach = std::move(on_detach);
+  f->switch_extra = extra_switch_latency;
   f->record.vm = vm;
   f->record.from = from;
   f->record.to = to;
@@ -270,7 +275,7 @@ void MigrationEngine::replan_flight(Flight& flight, common::SimTime now) {
   flight.plan.precopy_duration = t - flight.record.start;
   flight.plan.downtime =
       (pending > 0.0 ? transfer_time(pending, cfg_.link_mb_per_s) : common::SimTime{}) +
-      cfg_.switch_latency;
+      cfg_.switch_latency + flight.switch_extra;
   flight.record.stop = t;
   flight.record.end = t + flight.plan.downtime;
   flight.record.downtime = flight.plan.downtime;
@@ -299,6 +304,7 @@ void MigrationEngine::detach(Flight& flight) {
   src.scheduler().import_credit(flight.source.vm_slot, common::SimTime{});
   assert(flight.held != nullptr);
   assert(endpoint_in_flight(flight.record.from) && endpoint_in_flight(flight.record.to));
+  if (flight.on_detach) flight.on_detach(flight.record);
 }
 
 void MigrationEngine::attach(Flight& flight) {

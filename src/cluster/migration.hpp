@@ -166,9 +166,18 @@ class MigrationEngine {
   /// Returns the plan by value (the engine's own copy dies with the flight
   /// at attach time). Precondition: !in_flight(vm) — violating it throws
   /// std::logic_error naming the VM.
+  ///
+  /// `on_detach` (optional) fires right after the stop-and-copy detach
+  /// drained the source slot — the federation tier uses it to mark the
+  /// guest as departed from the source shard while the residue is on the
+  /// wire. `extra_switch_latency` (optional) is a per-flight addition to
+  /// the config's switch latency — the class-aware switch-over penalty of
+  /// a cross-class link move; it survives bandwidth re-plans.
   MigrationPlan begin(GlobalVmId vm, HostId from, HostId to, Endpoint source,
                       Endpoint dest, double memory_mb, double dirty_mb_per_s,
-                      common::Percent credit_pct, common::SimTime now, CompletionFn done);
+                      common::Percent credit_pct, common::SimTime now, CompletionFn done,
+                      CompletionFn on_detach = {},
+                      common::SimTime extra_switch_latency = {});
 
   /// Aborts the in-flight migration of `vm` at `now` (see the file header
   /// for the two abort paths). Returns false if the VM is not in flight.
@@ -214,6 +223,10 @@ class MigrationEngine {
     double dirty_mb_per_s = 0.0;
     std::unique_ptr<wl::Workload> held;  // guest state during the pause
     CompletionFn done;
+    CompletionFn on_detach;
+    /// Per-flight addition to cfg_.switch_latency (class-aware switch-over
+    /// penalty); folded into plan.downtime at begin() and on every re-plan.
+    common::SimTime switch_extra{};
     // Re-planning/cancel bookkeeping: per-round scheduled start instants,
     // the matching event ids, and how many round events have fired.
     std::vector<common::SimTime> round_starts;

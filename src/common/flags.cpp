@@ -1,9 +1,21 @@
 #include "common/flags.hpp"
 
+#include <cerrno>
 #include <cstdlib>
+#include <stdexcept>
 #include <string_view>
 
 namespace pas::common {
+namespace {
+
+/// Origin-style rejection, same shape as CsvTable / ctl::parse_tasks errors:
+/// the offending flag spelled back verbatim, then what was wrong with it.
+[[noreturn]] void fail(const std::string& key, const std::string& value,
+                       const std::string& what) {
+  throw std::runtime_error("--" + key + "=" + value + ": " + what);
+}
+
+}  // namespace
 
 Flags::Flags(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
@@ -36,14 +48,28 @@ std::string Flags::get_or(const std::string& key, const std::string& def) const 
 
 double Flags::get_double(const std::string& key, double def) const {
   const auto v = get(key);
-  if (!v || v->empty()) return def;
-  return std::strtod(v->c_str(), nullptr);
+  if (!v) return def;
+  if (v->empty()) fail(key, *v, "expected a number, got an empty value");
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  if (end == v->c_str()) fail(key, *v, "not a number");
+  if (*end != '\0') fail(key, *v, std::string{"trailing junk after number: '"} + end + "'");
+  if (errno == ERANGE) fail(key, *v, "number out of range");
+  return parsed;
 }
 
 long Flags::get_int(const std::string& key, long def) const {
   const auto v = get(key);
-  if (!v || v->empty()) return def;
-  return std::strtol(v->c_str(), nullptr, 10);
+  if (!v) return def;
+  if (v->empty()) fail(key, *v, "expected an integer, got an empty value");
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(v->c_str(), &end, 10);
+  if (end == v->c_str()) fail(key, *v, "not an integer");
+  if (*end != '\0') fail(key, *v, std::string{"trailing junk after integer: '"} + end + "'");
+  if (errno == ERANGE) fail(key, *v, "integer out of range");
+  return parsed;
 }
 
 }  // namespace pas::common

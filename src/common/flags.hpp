@@ -18,6 +18,13 @@ class Flags {
   [[nodiscard]] bool has(const std::string& key) const;
   [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
   [[nodiscard]] std::string get_or(const std::string& key, const std::string& def) const;
+  /// Numeric getters are strict: a missing flag returns `def`, but a flag
+  /// that IS present must be a fully-formed number — `--threads=4x`,
+  /// `--scale-hosts=` or a unit suffix throw std::runtime_error with the
+  /// offending `--key=value` spelled back, instead of silently parsing a
+  /// prefix (the old strtod(nullptr) behavior) or falling back to the
+  /// default. Bare switches stay valid for has(); they just cannot be fed
+  /// to a numeric getter.
   [[nodiscard]] double get_double(const std::string& key, double def) const;
   [[nodiscard]] long get_int(const std::string& key, long def) const;
   [[nodiscard]] const std::vector<std::string>& positionals() const { return positionals_; }

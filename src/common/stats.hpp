@@ -58,7 +58,15 @@ struct Summary {
 /// vectors).
 [[nodiscard]] Summary summarize(std::span<const double> xs);
 
-/// Linear-interpolated percentile of a *sorted* sample, q in [0, 1].
+/// Linear-interpolated percentile of a *sorted* sample, q in [0, 1]
+/// (R type-7: pos = q*(n-1), lerp between the two neighboring order
+/// statistics; q=0 is the min, q=1 the max, n=1 returns the sample, q is
+/// clamped, empty input returns 0). Deliberately NOT the same definition
+/// as the recovery-latency p50 in cluster::summarize_recoveries, which is
+/// the lower-median nearest rank: that one must be an integer-microsecond
+/// latency that actually occurred (byte-stable across engines), while
+/// this helper smooths bench summaries. Both definitions are pinned in
+/// tests/common/stats_test.cpp so neither can silently drift.
 [[nodiscard]] double percentile_sorted(std::span<const double> sorted, double q);
 
 /// Ordinary least squares fit y = a + b*x. Returns {a, b, r2}.

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 namespace pas::common {
 namespace {
 
@@ -47,6 +50,53 @@ TEST(FlagsTest, DoubleParsing) {
 TEST(FlagsTest, ValueWithEquals) {
   const Flags f = make({"--expr=a=b"});
   EXPECT_EQ(f.get_or("expr", ""), "a=b");
+}
+
+// Strict numeric parsing: a present flag must be a fully-formed number.
+// `--threads=4x` used to silently parse as 4 (strtod/strtol with a null
+// endptr); now it throws with the offending flag spelled back.
+
+TEST(FlagsTest, RejectsTrailingJunkInt) {
+  const Flags f = make({"--threads=4x"});
+  try {
+    (void)f.get_int("threads", 1);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("--threads=4x"), std::string::npos);
+  }
+}
+
+TEST(FlagsTest, RejectsTrailingJunkDouble) {
+  const Flags f = make({"--rate=2.5GB"});
+  EXPECT_THROW((void)f.get_double("rate", 0.0), std::runtime_error);
+}
+
+TEST(FlagsTest, RejectsEmptyNumericValue) {
+  // `--scale-hosts=` and a bare `--scale-hosts` both carry an empty value:
+  // fine for has(), an error for a numeric getter (the old code silently
+  // returned the default, letting a typo disable a CI gate).
+  const Flags eq = make({"--scale-hosts="});
+  EXPECT_THROW((void)eq.get_int("scale-hosts", 0), std::runtime_error);
+  const Flags bare = make({"--scale-hosts"});
+  EXPECT_TRUE(bare.has("scale-hosts"));
+  EXPECT_THROW((void)bare.get_int("scale-hosts", 0), std::runtime_error);
+  EXPECT_THROW((void)bare.get_double("scale-hosts", 0.0), std::runtime_error);
+}
+
+TEST(FlagsTest, RejectsNonNumber) {
+  const Flags f = make({"--n=abc"});
+  EXPECT_THROW((void)f.get_int("n", 0), std::runtime_error);
+  EXPECT_THROW((void)f.get_double("n", 0.0), std::runtime_error);
+}
+
+TEST(FlagsTest, AcceptsWellFormedNumbers) {
+  const Flags f = make({"--a=-12", "--b=1e3", "--c=0.5", "--d=+7"});
+  EXPECT_EQ(f.get_int("a", 0), -12);
+  EXPECT_DOUBLE_EQ(f.get_double("b", 0.0), 1000.0);
+  EXPECT_DOUBLE_EQ(f.get_double("c", 0.0), 0.5);
+  EXPECT_EQ(f.get_int("d", 0), 7);
+  // Missing flags still fall back to the default without throwing.
+  EXPECT_EQ(f.get_int("absent", 9), 9);
 }
 
 }  // namespace

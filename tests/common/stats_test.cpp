@@ -5,6 +5,8 @@
 #include <cmath>
 #include <vector>
 
+#include "cluster/cluster.hpp"  // summarize_recoveries divergence pin
+
 namespace pas::common {
 namespace {
 
@@ -87,6 +89,66 @@ TEST(PercentileTest, Bounds) {
   EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0.5), 2.0);
   EXPECT_DOUBLE_EQ(percentile_sorted(xs, -1.0), 1.0);  // clamped
   EXPECT_DOUBLE_EQ(percentile_sorted(xs, 2.0), 3.0);   // clamped
+}
+
+// Edge cases pinned so the interpolated definition cannot silently change:
+// n=1, q in {0, 1}, and the even-n midpoint (the case where interpolation
+// and nearest rank genuinely differ).
+
+TEST(PercentileTest, SingleSampleIsAlwaysThatSample) {
+  const std::vector<double> xs{42.0};
+  for (double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_DOUBLE_EQ(percentile_sorted(xs, q), 42.0) << "q=" << q;
+  }
+}
+
+TEST(PercentileTest, EvenCountInterpolatesMiddlePair) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0.5), 2.5);  // (2+3)/2 — R type-7
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 1.0), 4.0);
+  // Quarter position lands between sorted[0] and sorted[1]: 1 + 0.75.
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0.25), 1.75);
+}
+
+TEST(PercentileTest, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(percentile_sorted({}, 0.5), 0.0);
+}
+
+// The recovery-latency p50 (cluster::summarize_recoveries) is deliberately
+// the LOWER-MEDIAN NEAREST RANK, not this interpolation: for an even
+// sample it reports a latency that actually occurred, byte-stable in
+// integer microseconds. Document the divergence by computing both on the
+// same even-count sample.
+TEST(PercentileTest, NearestRankLowerMedianDivergesOnEvenCount) {
+  const std::vector<double> sorted{1.0, 2.0, 3.0, 4.0};
+  const double interpolated = percentile_sorted(sorted, 0.5);
+  const double nearest_rank = sorted[(sorted.size() - 1) / 2];  // cluster's rule
+  EXPECT_DOUBLE_EQ(interpolated, 2.5);
+  EXPECT_DOUBLE_EQ(nearest_rank, 2.0);
+  // Odd counts agree:
+  const std::vector<double> odd{1.0, 2.0, 9.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(odd, 0.5), odd[(odd.size() - 1) / 2]);
+}
+
+// And pin the real implementation, not a transcription of its rule: an
+// even-count recovery sample must report the lower middle latency.
+TEST(PercentileTest, SummarizeRecoveriesUsesLowerMedianNearestRank) {
+  using pas::cluster::VmRecovery;
+  std::vector<VmRecovery> recs;
+  for (long s : {4, 1, 3, 2}) {  // unsorted on purpose
+    recs.push_back({0, common::SimTime{}, common::seconds(s)});
+  }
+  const auto stats = pas::cluster::summarize_recoveries(recs);
+  EXPECT_EQ(stats.count, 4u);
+  EXPECT_EQ(stats.p50, common::seconds(2));  // lower median, not 2.5 s
+  EXPECT_EQ(stats.max, common::seconds(4));
+  EXPECT_DOUBLE_EQ(stats.mean_s, 2.5);
+
+  recs.resize(1);  // n=1: the only latency is every percentile
+  const auto one = pas::cluster::summarize_recoveries(recs);
+  EXPECT_EQ(one.p50, common::seconds(4));
+  EXPECT_EQ(one.max, common::seconds(4));
 }
 
 TEST(LinearFitTest, ExactLine) {

@@ -1,0 +1,143 @@
+// Federation determinism suite: the cluster's byte-identity contract,
+// lifted to the sharded tier. A federated run must be byte-identical
+// across the fast/slow host paths and every executor thread count (the
+// coordinator serializes all cross-shard state; threads are wall-clock
+// only), and a single-shard federation must degrade to EXACTLY the bare
+// hosting cluster — same trace rows, same energy bits — because it
+// schedules no federation events at all.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "../cluster/cluster_fuzz_common.hpp"
+#include "cluster/cluster.hpp"
+#include "common/units.hpp"
+#include "federation/federation.hpp"
+#include "scenario/federation_scenario.hpp"
+#include "scenario/hosting_cluster.hpp"
+
+namespace pas::fed {
+namespace {
+
+using common::seconds;
+
+scenario::FederationScenarioConfig fed_config(std::size_t shards, bool fast_path,
+                                              std::size_t threads) {
+  scenario::FederationScenarioConfig cfg;
+  // 24 VMs: the quarter-skew (6 tenants) opens a ~0.2 reserved-memory
+  // utilization gap — comfortably above the planner's 0.10 threshold, so
+  // the multi-shard suites exercise real cross-shard flights. (16 VMs
+  // would leave the gap at ~0.094: a federation that never migrates.)
+  cfg.base.hosts = 4;
+  cfg.base.vms = 24;
+  cfg.base.horizon = seconds(600);
+  cfg.base.seed = 17;
+  cfg.base.fast_path = fast_path;
+  cfg.base.threads = threads;
+  cfg.shards = shards;
+  return cfg;
+}
+
+/// Byte-compare two federations: every shard pair via the cluster suite's
+/// expect_identical, plus the cross-shard ledger (records, registry,
+/// counters) field by field.
+void expect_fed_identical(Federation& a, Federation& b, const std::string& label) {
+  ASSERT_EQ(a.shard_count(), b.shard_count()) << label;
+  for (ShardId s = 0; s < a.shard_count(); ++s)
+    cluster::fuzz::expect_identical(a.shard(s), b.shard(s), 17,
+                                    label + " shard " + std::to_string(s));
+  ASSERT_EQ(a.planner_ticks(), b.planner_ticks()) << label;
+  ASSERT_EQ(a.moves_issued(), b.moves_issued()) << label;
+  ASSERT_EQ(a.cross_shard_in_flight(), b.cross_shard_in_flight()) << label;
+  const auto& ra = a.cross_shard_records();
+  const auto& rb = b.cross_shard_records();
+  ASSERT_EQ(ra.size(), rb.size()) << label;
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    const std::string ctx = label + " fed migration " + std::to_string(i);
+    ASSERT_EQ(ra[i].vm, rb[i].vm) << ctx;
+    ASSERT_EQ(ra[i].from_shard, rb[i].from_shard) << ctx;
+    ASSERT_EQ(ra[i].to_shard, rb[i].to_shard) << ctx;
+    ASSERT_EQ(ra[i].from_host, rb[i].from_host) << ctx;
+    ASSERT_EQ(ra[i].to_host, rb[i].to_host) << ctx;
+    ASSERT_EQ(ra[i].src_vm, rb[i].src_vm) << ctx;
+    ASSERT_EQ(ra[i].dst_vm, rb[i].dst_vm) << ctx;
+    ASSERT_EQ(ra[i].link, rb[i].link) << ctx;
+    ASSERT_EQ(ra[i].record.start, rb[i].record.start) << ctx;
+    ASSERT_EQ(ra[i].record.stop, rb[i].record.stop) << ctx;
+    ASSERT_EQ(ra[i].record.end, rb[i].record.end) << ctx;
+    ASSERT_EQ(ra[i].record.rounds, rb[i].record.rounds) << ctx;
+    ASSERT_EQ(ra[i].record.transferred_mb, rb[i].record.transferred_mb) << ctx;
+    ASSERT_EQ(ra[i].record.downtime, rb[i].record.downtime) << ctx;
+    ASSERT_EQ(ra[i].record.outcome, rb[i].record.outcome) << ctx;
+  }
+  ASSERT_EQ(a.vm_count(), b.vm_count()) << label;
+  for (FedVmId v = 0; v < a.vm_count(); ++v) {
+    ASSERT_EQ(a.locate(v).shard, b.locate(v).shard) << label << " vm " << v;
+    ASSERT_EQ(a.locate(v).vm, b.locate(v).vm) << label << " vm " << v;
+  }
+}
+
+TEST(FederationDeterminismTest, SingleShardDegradesToBareCluster) {
+  // K = 1: the federation schedules nothing, so the run IS the bare
+  // cluster's run — byte for byte, energy bits included.
+  const scenario::FederationScenarioConfig cfg = fed_config(1, true, 1);
+  std::unique_ptr<cluster::Cluster> bare = scenario::build_hosting_cluster(cfg.base);
+  std::unique_ptr<Federation> fed = scenario::build_federation(cfg);
+  bare->run_until(cfg.base.horizon);
+  fed->run_until(cfg.base.horizon);
+  EXPECT_EQ(fed->planner_ticks(), 0u);
+  EXPECT_TRUE(fed->cross_shard_records().empty());
+  cluster::fuzz::expect_identical(*bare, fed->shard(0), cfg.base.seed, "K=1 vs bare");
+}
+
+TEST(FederationDeterminismTest, ByteIdenticalAcrossPathsAndThreads) {
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    std::unique_ptr<Federation> ref =
+        scenario::build_federation(fed_config(shards, true, 1));
+    ref->run_until(seconds(600));
+    struct Variant {
+      bool fast_path;
+      std::size_t threads;
+      const char* name;
+    };
+    for (const Variant v : {Variant{false, 1, "slow-path"}, Variant{true, 2, "2-thread"},
+                            Variant{true, 4, "4-thread"}}) {
+      std::unique_ptr<Federation> run =
+          scenario::build_federation(fed_config(shards, v.fast_path, v.threads));
+      run->run_until(seconds(600));
+      expect_fed_identical(*ref, *run,
+                           "K=" + std::to_string(shards) + " " + v.name);
+    }
+  }
+}
+
+TEST(FederationDeterminismTest, SkewedFederationActuallyCrossesLinks) {
+  // The scenario exists to exercise the global tier: a federation bench or
+  // suite whose census is zero pins nothing. Guard the skew keeps working.
+  std::unique_ptr<Federation> fed = scenario::build_federation(fed_config(2, true, 1));
+  fed->run_until(seconds(600));
+  EXPECT_GE(fed->planner_ticks(), 4u);  // 120 s period over a 600 s horizon
+  ASSERT_GE(fed->cross_shard_records().size(), 1u);
+  EXPECT_GE(fed->moves_issued(), fed->cross_shard_records().size());
+  for (const FedMigrationRecord& rec : fed->cross_shard_records()) {
+    EXPECT_EQ(rec.link, LinkKind::kWan) << "empty racks = every pair is WAN";
+    EXPECT_EQ(rec.record.outcome, cluster::MigrationOutcome::kCompleted);
+    EXPECT_GT(rec.record.downtime, common::SimTime{});
+    // Source-side ghost and destination-side guest agree with the ledger
+    // (the destination id may itself have departed on a later hop).
+    EXPECT_EQ(fed->shard(rec.from_shard).vm_state(rec.src_vm),
+              cluster::VmState::kDeparted);
+    const cluster::VmState dst_state = fed->shard(rec.to_shard).vm_state(rec.dst_vm);
+    EXPECT_TRUE(dst_state == cluster::VmState::kRunning ||
+                dst_state == cluster::VmState::kDeparted);
+  }
+  // The planner moved load from the skewed shard toward the empty one.
+  const Federation::ShardLoad l0 = fed->shard_load(0);
+  const Federation::ShardLoad l1 = fed->shard_load(1);
+  EXPECT_LT(l0.utilization() - l1.utilization(), 0.30)
+      << "gap should have narrowed from the skewed start";
+}
+
+}  // namespace
+}  // namespace pas::fed
